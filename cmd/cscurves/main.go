@@ -1,0 +1,65 @@
+// Command cscurves regenerates the average-throughput-versus-D curves:
+// Figure 4 (σ=0), Figure 5 (carrier sense piecewise curve), Figure 6
+// (inefficiency decomposition) and Figure 9 (σ=8 dB overlay).
+//
+// Usage:
+//
+//	cscurves [-rmax 55] [-sigma 0] [-dthresh 55] [-scale bench]
+//	         [-inefficiency] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carriersense/internal/experiments"
+)
+
+func main() {
+	rmax := flag.Float64("rmax", 55, "network radius Rmax (paper panels: 20, 55, 120)")
+	sigma := flag.Float64("sigma", 0, "shadowing sigma in dB (0 = Figure 4/5/6, 8 = Figure 9)")
+	dthresh := flag.Float64("dthresh", 55, "carrier sense threshold distance")
+	scaleFlag := flag.String("scale", "bench", "sampling effort: smoke, bench, or full")
+	ineff := flag.Bool("inefficiency", false, "also print the Figure 6 decomposition")
+	csv := flag.Bool("csv", false, "emit CSV instead of an ASCII chart")
+	flag.Parse()
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	p := experiments.DefaultCurves(*rmax)
+	p.SigmaDB = *sigma
+	p.DThresh = *dthresh
+	res := experiments.Curves(p, scale)
+	chart := res.Chart(true)
+	if *csv {
+		if err := chart.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		chart.Render(os.Stdout, 90, 24)
+		fmt.Printf("concurrency/multiplexing crossover (optimal threshold) at D ~= %.0f\n", res.CrossoverD())
+	}
+
+	if *ineff {
+		fmt.Println()
+		experiments.InefficiencyDecomposition(p, scale).Render(os.Stdout)
+	}
+}
+
+func parseScale(s string) (experiments.Scale, error) {
+	switch s {
+	case "smoke":
+		return experiments.ScaleSmoke, nil
+	case "bench":
+		return experiments.ScaleBench, nil
+	case "full":
+		return experiments.ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want smoke, bench, or full)", s)
+	}
+}

@@ -1,0 +1,40 @@
+// Command csfit reproduces Figure 14: the censored maximum-likelihood
+// fit of the path loss / shadowing model to the testbed's RSSI census.
+//
+// Usage:
+//
+//	csfit [-seed 42] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carriersense/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "building seed")
+	csv := flag.Bool("csv", false, "emit scatter CSV instead of a chart")
+	flag.Parse()
+
+	p := experiments.DefaultFigure14()
+	p.Seed = *seed
+	res, err := experiments.Figure14(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	chart := res.Chart()
+	if *csv {
+		if err := chart.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	chart.Render(os.Stdout, 90, 24)
+	fmt.Println()
+	res.Render(os.Stdout)
+}

@@ -1,0 +1,28 @@
+// Command cslandscape renders Figure 2's capacity landscapes and
+// Figure 3's receiver preference maps as ASCII heatmaps.
+//
+// Usage:
+//
+//	cslandscape [-pref] [-cells 56]
+package main
+
+import (
+	"flag"
+	"os"
+
+	"carriersense/internal/experiments"
+)
+
+func main() {
+	pref := flag.Bool("pref", false, "render Figure 3 preference maps instead of Figure 2 landscapes")
+	cells := flag.Int("cells", 56, "raster cells per side")
+	flag.Parse()
+
+	p := experiments.DefaultLandscape()
+	p.Cells = *cells
+	if *pref {
+		experiments.Preference(p).Render(os.Stdout)
+		return
+	}
+	experiments.Landscape(p).Render(os.Stdout)
+}

@@ -1,0 +1,77 @@
+// Command csmulti runs the n > 2 sender extension of the model: the
+// case §3.2.1 set aside ("small n > 2 does not appear to fundamentally
+// alter the results") and the axis along which footnote 18 expects
+// exposed-terminal gains to grow ([Vutukuru08]'s best result needed
+// six concurrent senders).
+//
+// Usage:
+//
+//	csmulti [-maxn 8] [-samples 20000] [-area 80] [-rmax 40] [-dthresh 55]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carriersense/internal/capacity"
+	"carriersense/internal/core"
+	"carriersense/internal/plot"
+)
+
+func main() {
+	maxN := flag.Int("maxn", 8, "largest number of competing pairs")
+	samples := flag.Int("samples", 20_000, "Monte Carlo configurations per n")
+	area := flag.Float64("area", 80, "sender scattering radius")
+	rmax := flag.Float64("rmax", 40, "receiver placement radius")
+	dthresh := flag.Float64("dthresh", 55, "carrier sense threshold distance")
+	flag.Parse()
+
+	runTable := func(title string, cap capacity.Model) {
+		tbl := plot.Table{
+			Title:   title,
+			Headers: []string{"n", "TDMA", "conc", "CS", "best-k", "k*", "CS/best-k", "exposed headroom", "avg active"},
+		}
+		for n := 2; n <= *maxN; n++ {
+			p := core.DefaultMultiParams(n)
+			p.AreaRadius = *area
+			p.Rmax = *rmax
+			p.DThresh = *dthresh
+			p.Env.Capacity = cap
+			mm := core.NewMulti(p)
+			a := mm.EstimateMulti(uint64(n), *samples)
+			tbl.AddRow(
+				fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.3f", a.TDMA.Mean),
+				fmt.Sprintf("%.3f", a.Conc.Mean),
+				fmt.Sprintf("%.3f", a.CS.Mean),
+				fmt.Sprintf("%.3f", a.BestK.Mean),
+				fmt.Sprintf("%.1f", a.MeanBestLevel.Mean),
+				plot.Percent(a.Efficiency()),
+				fmt.Sprintf("+%.0f%%", 100*a.ExposedHeadroom()),
+				fmt.Sprintf("%.1f", a.AvgActive.Mean),
+			)
+		}
+		tbl.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	runTable(fmt.Sprintf("n-pair extension, ADAPTIVE bitrate (Shannon): area=%.0f, Rmax=%.0f, Dthresh=%.0f",
+		*area, *rmax, *dthresh), nil)
+	// Vutukuru's regime: a fixed low bitrate on a network capable of
+	// much more — roughly the 6 Mb/s point (≈4 dB SINR requirement).
+	runTable("n-pair extension, FIXED LOW bitrate (Vutukuru's regime, footnote 18)",
+		capacity.FixedRate{Rate: 1.25, MinSNR: 2.5})
+
+	fmt.Println(`Reading the tables: per-pair throughput under each policy; "best-k" is
+the fairness-respecting optimal proxy (best uniform concurrency
+level); "exposed headroom" is what a perfect concurrency scheduler
+would add over carrier sense.
+
+The pair of tables is the paper's §5/footnote 18 argument in one view:
+under ADAPTIVE bitrate the exposed-terminal headroom stays small and
+does not grow with concurrency — carrier sense already converts spare
+SINR into rate. Under a FIXED LOW bitrate the headroom grows with n,
+which is exactly the regime where [Vutukuru08] found its 47% gains
+(six concurrent senders, fixed low rate).`)
+}

@@ -1,0 +1,34 @@
+// Command csreport runs every experiment in the DESIGN.md index and
+// writes a consolidated reproduction report to stdout — the generator
+// behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	csreport [-scale smoke|bench|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carriersense/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "bench", "sampling effort: smoke, bench, or full")
+	flag.Parse()
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "smoke":
+		scale = experiments.ScaleSmoke
+	case "bench":
+		scale = experiments.ScaleBench
+	case "full":
+		scale = experiments.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want smoke, bench, or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+	experiments.Report(os.Stdout, scale)
+}

@@ -1,0 +1,53 @@
+// Command cstables regenerates the §3.2.5 carrier sense efficiency
+// tables (T1, T2) and the environment robustness sweep (T3).
+//
+// Usage:
+//
+//	cstables [-scale smoke|bench|full] [-sweep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carriersense/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "bench", "sampling effort: smoke, bench, or full")
+	sweep := flag.Bool("sweep", false, "also run the alpha/sigma robustness sweep (T3)")
+	flag.Parse()
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	t1 := experiments.Table1(experiments.DefaultTable1(), scale)
+	t1.Render(os.Stdout, "T1: CS % of optimal, fixed Dthresh=55, alpha=3, sigma=8dB\n(paper: 96 88 96 / 96 87 96 / 89 83 92)")
+	fmt.Println()
+	t2 := experiments.Table2(experiments.DefaultTable1(), scale)
+	t2.Render(os.Stdout, "T2: CS % of optimal, per-Rmax optimized thresholds\n(paper: Dthresh 40/55/60; 93 91 99 / 96 87 96 / 89 83 92)")
+	fmt.Println()
+	fmt.Printf("minimum cell: %.0f%% (paper claim: typically <15%% below optimal)\n", 100*t1.Min())
+
+	if *sweep {
+		fmt.Println()
+		pts := experiments.RobustnessSweep([]float64{2, 2.5, 3, 3.5, 4}, []float64{4, 8, 12}, scale)
+		experiments.RenderRobustness(os.Stdout, pts)
+	}
+}
+
+func parseScale(s string) (experiments.Scale, error) {
+	switch s {
+	case "smoke":
+		return experiments.ScaleSmoke, nil
+	case "bench":
+		return experiments.ScaleBench, nil
+	case "full":
+		return experiments.ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want smoke, bench, or full)", s)
+	}
+}

@@ -1,0 +1,72 @@
+// Command cstestbed reproduces the paper's §4 testbed experiments on
+// the synthetic building: Figures 10/11 (short range), 12/13 (long
+// range), the §4.1/§4.2 summary tables, and the §5 exposed-terminal
+// study.
+//
+// Usage:
+//
+//	cstestbed [-range short|long|both] [-seconds 15] [-combos 40]
+//	          [-seed 42] [-exposed] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carriersense/internal/experiments"
+	"carriersense/internal/sim"
+	"carriersense/internal/testbed"
+)
+
+func main() {
+	rangeFlag := flag.String("range", "both", "short, long, or both")
+	seconds := flag.Float64("seconds", 15, "per-run send duration in simulated seconds (paper: 15)")
+	combos := flag.Int("combos", 40, "two-pair combinations to measure per class")
+	seed := flag.Uint64("seed", 42, "building and experiment seed")
+	exposed := flag.Bool("exposed", false, "also run the §5 exposed-terminal study")
+	csv := flag.Bool("csv", false, "emit per-combo CSV instead of charts")
+	flag.Parse()
+
+	p := experiments.DefaultTestbed(experiments.ScaleFull)
+	p.Experiment.Duration = sim.FromSeconds(*seconds)
+	p.Experiment.MaxCombos = *combos
+	p.Seed = *seed
+
+	classes := []testbed.RangeClass{}
+	switch *rangeFlag {
+	case "short":
+		classes = append(classes, testbed.ShortRange)
+	case "long":
+		classes = append(classes, testbed.LongRange)
+	case "both":
+		classes = append(classes, testbed.ShortRange, testbed.LongRange)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -range %q\n", *rangeFlag)
+		os.Exit(2)
+	}
+
+	for _, class := range classes {
+		res := experiments.RunTestbed(p, class)
+		if *csv {
+			fmt.Printf("class,rssi_db,mux,conc,cs,optimal\n")
+			for _, c := range res.Result.Combos {
+				fmt.Printf("%s,%.1f,%.0f,%.0f,%.0f,%.0f\n",
+					class, c.SenderRSSIdB, c.Mux, c.Conc, c.CS, c.Optimal())
+			}
+			continue
+		}
+		cchart := res.CompetitiveChart()
+		cchart.Render(os.Stdout, 90, 24)
+		fmt.Println()
+		rchart := res.RSSIChart()
+		rchart.Render(os.Stdout, 90, 24)
+		fmt.Println()
+		res.RenderSummary(os.Stdout)
+		fmt.Println()
+	}
+
+	if *exposed {
+		experiments.ExposedTerminals(p).Render(os.Stdout)
+	}
+}

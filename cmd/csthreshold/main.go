@@ -1,0 +1,57 @@
+// Command csthreshold regenerates Figure 7: the optimal carrier sense
+// threshold versus network radius for several path loss exponents,
+// with the short/long-range regime boundaries and the footnote 13
+// closed-form asymptote.
+//
+// Usage:
+//
+//	csthreshold [-scale bench] [-sigma 8] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carriersense/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "bench", "sampling effort: smoke, bench, or full")
+	sigma := flag.Float64("sigma", 8, "shadowing sigma in dB")
+	csv := flag.Bool("csv", false, "emit CSV instead of an ASCII chart")
+	flag.Parse()
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	p := experiments.DefaultFigure7()
+	p.SigmaDB = *sigma
+	res := experiments.Figure7(p, scale)
+	chart := res.Chart()
+	if *csv {
+		if err := chart.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	chart.Render(os.Stdout, 90, 26)
+	fmt.Println()
+	res.RegimeTable(os.Stdout)
+}
+
+func parseScale(s string) (experiments.Scale, error) {
+	switch s {
+	case "smoke":
+		return experiments.ScaleSmoke, nil
+	case "bench":
+		return experiments.ScaleBench, nil
+	case "full":
+		return experiments.ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want smoke, bench, or full)", s)
+	}
+}

@@ -1,0 +1,82 @@
+// Deployment: choose a clear channel assessment threshold for a WLAN
+// product line.
+//
+// A radio vendor must burn one CCA threshold into firmware that will
+// be deployed in apartments (short range), offices (mid range) and
+// warehouses (long range), across propagation environments from α = 2
+// to α = 4. This example walks the §3.3.3/§3.3.4 analysis: compute the
+// per-deployment optimal threshold, take the paper's
+// split-the-difference compromise, then verify with a sensitivity
+// sweep that the compromise costs almost nothing anywhere — the
+// paper's threshold-robustness claim, applied.
+//
+// Run with: go run ./examples/deployment
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"carriersense/internal/core"
+	"carriersense/internal/experiments"
+	"carriersense/internal/numeric"
+	"carriersense/internal/plot"
+)
+
+func main() {
+	const (
+		samples = 60_000
+		seed    = 7
+	)
+
+	// Step 1: optimal thresholds per deployment scenario.
+	fmt.Println("Step 1: per-scenario optimal thresholds (alpha=3, sigma=8dB)")
+	model := core.New(core.DefaultParams())
+	scenarios := []struct {
+		name string
+		rmax float64
+	}{
+		{"apartment", 15},
+		{"office", 40},
+		{"warehouse", 90},
+		{"campus", 150},
+	}
+	tbl := plot.Table{Headers: []string{"deployment", "Rmax", "optimal Dthresh", "regime", "edge SNR"}}
+	var lo, hi float64
+	for i, sc := range scenarios {
+		dOpt := model.OptimalThreshold(seed+uint64(i), samples, sc.rmax)
+		if i == 0 {
+			lo = dOpt
+		}
+		hi = dOpt
+		tbl.AddRow(sc.name,
+			fmt.Sprintf("%.0f", sc.rmax),
+			fmt.Sprintf("%.0f", dOpt),
+			core.Classify(sc.rmax, dOpt).String(),
+			fmt.Sprintf("%.0f dB", model.EdgeSNRdB(sc.rmax)))
+	}
+	tbl.Render(os.Stdout)
+
+	// Step 2: the compromise.
+	compromise := (lo + hi) / 2
+	fmt.Printf("\nStep 2: split-the-difference factory threshold: D ~= %.0f\n", compromise)
+
+	// Step 3: how much does the compromise cost at each deployment?
+	fmt.Println("\nStep 3: efficiency of the compromise threshold per deployment")
+	tbl2 := plot.Table{Headers: []string{"deployment", "compromise eff", "tuned eff", "cost"}}
+	for i, sc := range scenarios {
+		p := experiments.DefaultCurves(sc.rmax)
+		p.SigmaDB = 8
+		p.DGrid = numeric.LinSpace(5, 4*sc.rmax, 12)
+		sens := experiments.ThresholdSensitivity(p, []float64{compromise}, experiments.ScaleBench)
+		dOpt := model.OptimalThreshold(seed+uint64(i), samples, sc.rmax)
+		tuned := experiments.ThresholdSensitivity(p, []float64{dOpt}, experiments.ScaleBench)
+		tbl2.AddRow(sc.name,
+			plot.Percent(sens[0].Efficiency),
+			plot.Percent(tuned[0].Efficiency),
+			fmt.Sprintf("%.1f pts", 100*(tuned[0].Efficiency-sens[0].Efficiency)))
+	}
+	tbl2.Render(os.Stdout)
+	fmt.Println("\nConclusion (the paper's): one threshold serves every deployment;")
+	fmt.Println("tuning buys at most a point or two of efficiency.")
+}

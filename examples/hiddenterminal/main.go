@@ -1,0 +1,142 @@
+// Hidden terminal: build the textbook hidden-terminal topology in the
+// packet simulator and measure what actually happens — with fixed
+// bitrate, with adaptive bitrate, and with RTS/CTS protection (always
+// on, and the paper's §5 proposal of loss-triggered enablement).
+//
+// Topology: two senders A and B that cannot hear each other, both
+// within interference range of receiver R1 (A's receiver). B's own
+// receiver R2 is on B's far side:
+//
+//	A  ----->  R1  <~~~~~  B  ----->  R2
+//
+// The paper's argument: with adaptive bitrate, the hidden terminal is
+// "a less-than-ideal bitrate is needed to succeed", not a black-and-
+// white outage — except at long range, where the interferer can truly
+// smother R1 and §5's triggered RTS/CTS is the right repair.
+//
+// Run with: go run ./examples/hiddenterminal
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"carriersense/internal/capacity"
+	"carriersense/internal/mac"
+	"carriersense/internal/phy"
+	"carriersense/internal/plot"
+	"carriersense/internal/rate"
+	"carriersense/internal/rng"
+	"carriersense/internal/sim"
+)
+
+// matrixChannel is a hand-built gain matrix for the 4-node topology.
+type matrixChannel struct {
+	gains map[[2]phy.NodeID]float64
+}
+
+func (m matrixChannel) GainDB(from, to phy.NodeID) float64 {
+	if g, ok := m.gains[[2]phy.NodeID{from, to}]; ok {
+		return g
+	}
+	if g, ok := m.gains[[2]phy.NodeID{to, from}]; ok {
+		return g
+	}
+	return -200 // disconnected
+}
+
+const (
+	nodeA  phy.NodeID = 0
+	nodeR1 phy.NodeID = 1
+	nodeB  phy.NodeID = 2
+	nodeR2 phy.NodeID = 3
+)
+
+// buildChannel constructs the hidden-terminal gains: A-B mutually
+// inaudible (-115 dB path), B interferes with R1 at the given level.
+func buildChannel(interfAtR1dB float64) matrixChannel {
+	return matrixChannel{gains: map[[2]phy.NodeID]float64{
+		{nodeA, nodeR1}:  -72,          // A's serving link: healthy 23 dB SNR
+		{nodeB, nodeR2}:  -72,          // B's serving link
+		{nodeA, nodeB}:   -115,         // the senders cannot hear each other
+		{nodeB, nodeR1}:  interfAtR1dB, // the hidden interference path
+		{nodeA, nodeR2}:  -110,         // A barely reaches R2
+		{nodeR1, nodeR2}: -110,
+	}}
+}
+
+// run measures A→R1 and B→R2 goodput (pkt/s) for one configuration.
+func run(interfAtR1dB float64, rates mac.RateSelector, ratesB mac.RateSelector, rtsMode mac.RTSMode, seconds float64) (float64, float64) {
+	src := rng.New(11)
+	s := sim.New()
+	phyCfg := phy.DefaultConfig()
+	medium := phy.NewMedium(s, buildChannel(interfAtR1dB), phyCfg, src.Split())
+	var radios [4]*phy.Radio
+	for i := 0; i < 4; i++ {
+		radios[i] = medium.AddRadio(phy.NodeID(i), 15)
+	}
+	macCfg := mac.DefaultConfig()
+	macCfg.UseACK = true
+	macCfg.RTS = rtsMode
+	stA := mac.NewStation(s, radios[nodeA], macCfg, src.Split(), rates)
+	stB := mac.NewStation(s, radios[nodeB], macCfg, src.Split(), ratesB)
+	// Receivers: passive stations that generate CTS/ACK responses.
+	mac.NewStation(s, radios[nodeR1], macCfg, src.Split(), nil)
+	mac.NewStation(s, radios[nodeR2], macCfg, src.Split(), nil)
+	var got1, got2 float64
+	stA.OnDeliver = func(phy.Frame) { got1++ }
+	stB.OnDeliver = func(phy.Frame) { got2++ }
+	stA.StartSaturated(nodeR1, 1400)
+	stB.StartSaturated(nodeR2, 1400)
+	s.Run(sim.FromSeconds(seconds))
+	return got1 / seconds, got2 / seconds
+}
+
+func main() {
+	const seconds = 5.0
+	table := capacity.TablePaperDriver
+	fixed6 := mac.FixedRate{Rate: table[0]}
+	fixed24 := mac.FixedRate{Rate: table[4]}
+
+	fmt.Println("Hidden terminal study: A->R1 with hidden interferer B (B->R2 as the competing pair)")
+	fmt.Println("A's serving SNR is 23 dB; interference level at R1 varies.")
+	fmt.Println()
+
+	tbl := plot.Table{Headers: []string{
+		"interference at R1", "fixed 24M", "fixed 6M", "adaptive", "adaptive+RTS always", "adaptive+RTS adaptive",
+	}}
+	for _, interf := range []float64{-110, -95, -86, -78} {
+		row := []string{fmt.Sprintf("%.0f dBm", 15+interf)}
+		for _, setup := range []struct {
+			mk  func() mac.RateSelector
+			rts mac.RTSMode
+		}{
+			{func() mac.RateSelector { return fixed24 }, mac.RTSOff},
+			{func() mac.RateSelector { return fixed6 }, mac.RTSOff},
+			{func() mac.RateSelector { return newSample() }, mac.RTSOff},
+			{func() mac.RateSelector { return newSample() }, mac.RTSAlways},
+			{func() mac.RateSelector { return newSample() }, mac.RTSAdaptive},
+		} {
+			a, _ := run(interf, setup.mk(), newSample(), setup.rts, seconds)
+			row = append(row, fmt.Sprintf("%.0f pkt/s", a))
+		}
+		tbl.AddRow(row...)
+	}
+	tbl.Render(os.Stdout)
+
+	fmt.Println(`
+Reading the table like the paper does:
+  - With a weak interferer the "hidden terminal" barely matters, and
+    fixed 6 Mb/s wastes far more than the interference ever could.
+  - As interference grows, adaptive bitrate degrades gracefully
+    (a lower rate still gets through) where fixed 24 Mb/s collapses.
+  - Only when R1 is truly smothered does RTS/CTS pay; always-on RTS
+    taxes every healthy configuration, which is why §5 wants it
+    loss-triggered.`)
+}
+
+// newSample returns a fresh SampleRate adapter over the paper's
+// driver rate set.
+func newSample() mac.RateSelector {
+	return rate.NewSampleRate(capacity.TablePaperDriver)
+}

@@ -1,0 +1,109 @@
+// Rate adaptation: compare bitrate adaptation algorithms on a single
+// link in the packet simulator — fixed rates, ARF, SampleRate
+// [Bicket05], and the oracle (best fixed rate in hindsight, the
+// paper's §4 methodology).
+//
+// The paper's position (§1, §5, §7): bitrate adaptation is "the single
+// most important factor in performance under the MAC's control", and
+// algorithms like SampleRate reach the optimal rate as long as
+// conditions don't change too rapidly. This example quantifies both
+// halves: the steady-state gap to oracle at several SNRs, and the
+// convergence lag after an abrupt SNR drop.
+//
+// Run with: go run ./examples/rateadapt
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"carriersense/internal/capacity"
+	"carriersense/internal/mac"
+	"carriersense/internal/phy"
+	"carriersense/internal/plot"
+	"carriersense/internal/rate"
+	"carriersense/internal/rng"
+	"carriersense/internal/sim"
+)
+
+// snrChannel is a two-node channel pinned to a target SNR; SetSNR
+// changes it mid-run.
+type snrChannel struct {
+	gainDB float64
+}
+
+func (c *snrChannel) GainDB(from, to phy.NodeID) float64 { return c.gainDB }
+
+// setSNR pins the link SNR given 15 dBm TX power and a -95 dBm noise
+// floor: gain = snr - 110.
+func (c *snrChannel) setSNR(snrDB float64) { c.gainDB = snrDB - 110 }
+
+// run measures delivered goodput (Mb/s) over the given duration;
+// if dropTo >= 0, the SNR drops to it halfway through.
+func run(snrDB, dropTo float64, rates mac.RateSelector, seconds float64, seed uint64) float64 {
+	src := rng.New(seed)
+	s := sim.New()
+	ch := &snrChannel{}
+	ch.setSNR(snrDB)
+	medium := phy.NewMedium(s, ch, phy.DefaultConfig(), src.Split())
+	tx := medium.AddRadio(0, 15)
+	rx := medium.AddRadio(1, 15)
+	macCfg := mac.DefaultConfig()
+	macCfg.UseACK = true
+	st := mac.NewStation(s, tx, macCfg, src.Split(), rates)
+	mac.NewStation(s, rx, macCfg, src.Split(), nil)
+	delivered := 0.0
+	st.OnDeliver = func(f phy.Frame) { delivered += float64(f.Bytes) * 8 / 1e6 }
+	st.StartSaturated(1, 1400)
+	if dropTo >= 0 {
+		s.At(sim.FromSeconds(seconds/2), func() { ch.setSNR(dropTo) })
+	}
+	s.Run(sim.FromSeconds(seconds))
+	return delivered / seconds
+}
+
+func main() {
+	const seconds = 4.0
+	table := capacity.Table80211a
+
+	fmt.Println("Steady-state goodput (Mb/s) by adaptation algorithm:")
+	tbl := plot.Table{Headers: []string{"SNR", "fixed 6M", "fixed 54M", "ARF", "SampleRate", "oracle"}}
+	for _, snr := range []float64{8, 14, 20, 30} {
+		oracle := 0.0
+		for _, r := range table {
+			if g := run(snr, -1, mac.FixedRate{Rate: r}, seconds, 3); g > oracle {
+				oracle = g
+			}
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%.0f dB", snr),
+			fmt.Sprintf("%.1f", run(snr, -1, mac.FixedRate{Rate: table[0]}, seconds, 3)),
+			fmt.Sprintf("%.1f", run(snr, -1, mac.FixedRate{Rate: table[7]}, seconds, 3)),
+			fmt.Sprintf("%.1f", run(snr, -1, rate.NewARF(table), seconds, 3)),
+			fmt.Sprintf("%.1f", run(snr, -1, rate.NewSampleRate(table), seconds, 3)),
+			fmt.Sprintf("%.1f", oracle),
+		)
+	}
+	tbl.Render(os.Stdout)
+
+	fmt.Println("\nAbrupt SNR drop 30 dB -> 10 dB at t=2s (adaptation lag, §7):")
+	tbl2 := plot.Table{Headers: []string{"algorithm", "goodput (Mb/s)"}}
+	tbl2.AddRow("ARF", fmt.Sprintf("%.1f", run(30, 10, rate.NewARF(table), seconds, 5)))
+	tbl2.AddRow("SampleRate", fmt.Sprintf("%.1f", run(30, 10, rate.NewSampleRate(table), seconds, 5)))
+	tbl2.AddRow("oracle per phase", fmt.Sprintf("%.1f",
+		(bestFixed(30, seconds/2)+bestFixed(10, seconds/2))/2))
+	tbl2.Render(os.Stdout)
+	fmt.Println("\nSampleRate reaches the oracle rate in steady state but, as §7")
+	fmt.Println("warns, 'may take a while getting there' after a sudden change.")
+}
+
+// bestFixed returns the best fixed-rate goodput at the given SNR.
+func bestFixed(snrDB, seconds float64) float64 {
+	best := 0.0
+	for _, r := range capacity.Table80211a {
+		if g := run(snrDB, -1, mac.FixedRate{Rate: r}, seconds, 9); g > best {
+			best = g
+		}
+	}
+	return best
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"carriersense/internal/geometry"
+	"carriersense/internal/montecarlo"
+	"carriersense/internal/rng"
+)
+
+// Inefficiency decomposes the carrier-sense-versus-optimal gap along
+// the D axis, the quantities shaded in Figure 6. For a threshold
+// D_thresh, configurations with D > D_thresh that would have done
+// better multiplexed contribute "hidden terminal inefficiency"; those
+// with D < D_thresh that would have done better concurrent contribute
+// "exposed terminal inefficiency". The Triangle fields isolate the
+// share attributable purely to threshold misplacement: the area
+// between the CS curve and Max[⟨C_mux⟩, ⟨C_conc⟩], which §3.3.3 shows
+// vanishes when the threshold sits exactly at the curves' crossing.
+type Inefficiency struct {
+	Rmax, DThresh float64
+	DGrid         []float64
+	// Per-D gaps (same units as the curves, averaged over receivers).
+	HiddenGap  []float64 // max(0, ⟨C_max⟩-⟨C_cs⟩) on the concurrency side
+	ExposedGap []float64 // max(0, ⟨C_max⟩-⟨C_cs⟩) on the multiplexing side
+	// Integrated totals over the D grid (trapezoid rule), normalized
+	// by the integral of ⟨C_max⟩ so they read as fractions of optimal.
+	HiddenTotal   float64
+	ExposedTotal  float64
+	TriangleTotal float64 // inefficiency due to threshold misplacement only
+}
+
+// EstimateInefficiency computes the Figure 6 decomposition for one
+// R_max and threshold across the given D grid with n Monte Carlo
+// samples per point.
+func (m *Model) EstimateInefficiency(seed uint64, n int, rmax, dThresh float64, dGrid []float64) Inefficiency {
+	ineff := Inefficiency{
+		Rmax: rmax, DThresh: dThresh, DGrid: dGrid,
+		HiddenGap:  make([]float64, len(dGrid)),
+		ExposedGap: make([]float64, len(dGrid)),
+	}
+	maxCurve := make([]float64, len(dGrid))
+	triangle := make([]float64, len(dGrid))
+	for i, d := range dGrid {
+		a := m.EstimateAverages(seed+uint64(i)*7919, n, rmax, d, dThresh)
+		gap := math.Max(0, a.Max.Mean-a.CS.Mean)
+		if d > dThresh {
+			ineff.HiddenGap[i] = gap
+		} else {
+			ineff.ExposedGap[i] = gap
+		}
+		maxCurve[i] = a.Max.Mean
+		// Triangle: CS below the better of the two pure policies.
+		best := math.Max(a.Mux.Mean, a.Conc.Mean)
+		triangle[i] = math.Max(0, best-a.CS.Mean)
+	}
+	trap := func(y []float64) float64 {
+		total := 0.0
+		for i := 1; i < len(dGrid); i++ {
+			total += (y[i] + y[i-1]) / 2 * (dGrid[i] - dGrid[i-1])
+		}
+		return total
+	}
+	maxArea := trap(maxCurve)
+	if maxArea > 0 {
+		ineff.HiddenTotal = trap(ineff.HiddenGap) / maxArea
+		ineff.ExposedTotal = trap(ineff.ExposedGap) / maxArea
+		ineff.TriangleTotal = trap(triangle) / maxArea
+	}
+	return ineff
+}
+
+// Fairness summarizes the distributional properties of a policy at one
+// (R_max, D) point: §3.3.3 observes that long-range networks keep good
+// averages but can starve the receivers nearest an inside-the-network
+// interferer.
+type Fairness struct {
+	Rmax, D float64
+	// JainCS is Jain's fairness index of the two pairs' carrier sense
+	// throughputs, E[(x1+x2)²/(2(x1²+x2²))] over configurations.
+	JainCS montecarlo.Estimate
+	// StarvedConc is the probability a receiver is starved (<10% of
+	// its C_UBmax) under pure concurrency.
+	StarvedConc montecarlo.Estimate
+	// StarvedCS is the same probability under carrier sense with the
+	// given threshold: nonzero only when CS chooses concurrency.
+	StarvedCS montecarlo.Estimate
+	// P10CS is the 10th-percentile carrier sense throughput of pair 1,
+	// normalized by mean CS throughput (a tail-weight measure).
+	P10CS float64
+}
+
+// EstimateFairness estimates the fairness metrics with n samples.
+func (m *Model) EstimateFairness(seed uint64, n int, rmax, d, dThresh float64) Fairness {
+	pThresh := m.ThresholdPower(dThresh)
+	est := montecarlo.MeanVec(seed, n, 3, func(src *rng.Source, out []float64) {
+		c := m.SampleConfig(src, rmax, d)
+		x1 := m.CCarrierSense(c, 1, pThresh)
+		x2 := m.CCarrierSense(c, 2, pThresh)
+		if x1+x2 > 0 {
+			out[0] = (x1 + x2) * (x1 + x2) / (2 * (x1*x1 + x2*x2))
+		} else {
+			out[0] = 1
+		}
+		if m.StarvedUnderConcurrency(c, 1, StarvationFraction) {
+			out[1] = 1
+		}
+		if !m.Defers(c, pThresh) && m.StarvedUnderConcurrency(c, 1, StarvationFraction) {
+			out[2] = 1
+		}
+	})
+	// Percentile needs the sample set; rerun a single-threaded pass.
+	src := rng.New(seed ^ 0xfa1f)
+	samples := make([]float64, 0, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		c := m.SampleConfig(src, rmax, d)
+		v := m.CCarrierSense(c, 1, pThresh)
+		samples = append(samples, v)
+		sum += v
+	}
+	p10 := percentile(samples, 0.10)
+	mean := sum / float64(n)
+	f := Fairness{
+		Rmax: rmax, D: d,
+		JainCS:      est[0],
+		StarvedConc: est[1],
+		StarvedCS:   est[2],
+	}
+	if mean > 0 {
+		f.P10CS = p10 / mean
+	}
+	return f
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// ShadowingExample packages the §3.4 worked example: a short range
+// network (R_max = 20, D_thresh = 40) with an interferer at D = 20.
+type ShadowingExample struct {
+	Rmax, D, DThresh float64
+	// PSpuriousConcurrency is the chance the interferer appears beyond
+	// the threshold to the sender (paper: "about a 20% chance").
+	PSpuriousConcurrency float64
+	// PSmothered is the fraction of receiver positions closer to the
+	// interferer than to the sender (paper: "approximately the
+	// fraction of the R_max disc's area closer to D = 20").
+	PSmothered float64
+	// PBadSNR is their product: configurations left with very poor SNR
+	// (paper: "around 4% of configurations").
+	PBadSNR float64
+	// PBadSNRMC is the direct Monte Carlo estimate of
+	// P[spurious concurrency ∧ receiver SNR < 0 dB], the quantity the
+	// closed-form product approximates.
+	PBadSNRMC montecarlo.Estimate
+}
+
+// EstimateShadowingExample evaluates the §3.4 example for this model.
+func (m *Model) EstimateShadowingExample(seed uint64, n int, rmax, d, dThresh float64) ShadowingExample {
+	ex := ShadowingExample{Rmax: rmax, D: d, DThresh: dThresh}
+	ex.PSpuriousConcurrency = m.SpuriousConcurrencyProbability(d, dThresh)
+	ex.PSmothered = geometry.FractionCloserTo(geometry.Point{X: -d, Y: 0}, rmax)
+	ex.PBadSNR = ex.PSpuriousConcurrency * ex.PSmothered
+	pThresh := m.ThresholdPower(dThresh)
+	ex.PBadSNRMC = montecarlo.Fraction(seed, n, func(src *rng.Source) bool {
+		c := m.SampleConfig(src, rmax, d)
+		if m.Defers(c, pThresh) {
+			return false
+		}
+		snr := m.SignalPower(c, 1) / (m.noise + m.InterferencePower(c, 1))
+		return snr < 1 // below 0 dB
+	})
+	return ex
+}
+
+// LumpedDistanceFactor converts a dB uncertainty into the equivalent
+// multiplicative distance factor under the model's path loss: §3.4
+// re-expresses 14 dB of SNR-estimate uncertainty as "a distance factor
+// of about 3x" at α = 3.
+func (m *Model) LumpedDistanceFactor(uncertaintyDB float64) float64 {
+	return math.Pow(10, uncertaintyDB/(10*m.params.Alpha))
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"carriersense/internal/numeric"
+)
+
+func TestInefficiencyNonNegative(t *testing.T) {
+	m := New(NoShadowParams())
+	grid := numeric.LinSpace(5, 180, 12)
+	ineff := m.EstimateInefficiency(1, 60_000, 55, 55, grid)
+	if ineff.HiddenTotal < 0 || ineff.ExposedTotal < 0 || ineff.TriangleTotal < 0 {
+		t.Errorf("negative inefficiency: %+v", ineff)
+	}
+	for i, g := range ineff.HiddenGap {
+		if g < 0 || ineff.ExposedGap[i] < 0 {
+			t.Fatalf("negative gap at %d", i)
+		}
+	}
+	// Gaps land on the correct side of the threshold.
+	for i, d := range grid {
+		if d <= 55 && ineff.HiddenGap[i] != 0 {
+			t.Errorf("hidden gap on the multiplexing side at D=%v", d)
+		}
+		if d > 55 && ineff.ExposedGap[i] != 0 {
+			t.Errorf("exposed gap on the concurrency side at D=%v", d)
+		}
+	}
+}
+
+func TestTriangleGrowsWithMisplacedThreshold(t *testing.T) {
+	// §3.3.3: the triangle inefficiency vanishes at the crossing
+	// point and grows as the threshold moves away from it.
+	m := New(NoShadowParams())
+	grid := numeric.LinSpace(5, 180, 12)
+	dOpt := m.OptimalThresholdQuad(55)
+	atOpt := m.EstimateInefficiency(2, 60_000, 55, dOpt, grid)
+	misplaced := m.EstimateInefficiency(2, 60_000, 55, dOpt/2, grid)
+	if misplaced.TriangleTotal <= atOpt.TriangleTotal {
+		t.Errorf("triangle at misplaced threshold %v not above optimal %v",
+			misplaced.TriangleTotal, atOpt.TriangleTotal)
+	}
+}
+
+func TestFairnessMetrics(t *testing.T) {
+	m := New(DefaultParams())
+	f := m.EstimateFairness(3, 40_000, 40, 55, 55)
+	if f.JainCS.Mean < 0.5 || f.JainCS.Mean > 1 {
+		t.Errorf("Jain index = %v, want in [0.5, 1]", f.JainCS.Mean)
+	}
+	if f.StarvedCS.Mean > f.StarvedConc.Mean+0.01 {
+		t.Errorf("CS starves more than pure concurrency: %v vs %v",
+			f.StarvedCS.Mean, f.StarvedConc.Mean)
+	}
+	if f.P10CS < 0 || f.P10CS > 1.5 {
+		t.Errorf("P10 ratio = %v", f.P10CS)
+	}
+}
+
+func TestLongRangeStarvationWorse(t *testing.T) {
+	// §3.3.3: under carrier sense with its own optimal threshold, a
+	// short-range network never transmits concurrently while an
+	// interferer is close enough to smother anyone (the threshold sits
+	// beyond 2·R_max), but a long-range network does: its threshold is
+	// *inside* the network, so interferers between D_thresh and R_max
+	// trigger concurrency and starve the receivers nearest them.
+	// Compare starvation under CS with the interferer at 0.9·R_max.
+	m := New(DefaultParams())
+	short := m.EstimateFairness(4, 60_000, 20, 18, 40)
+	long := m.EstimateFairness(4, 60_000, 120, 108, 60)
+	if long.StarvedCS.Mean <= short.StarvedCS.Mean {
+		t.Errorf("long-range CS starvation %v not above short-range %v",
+			long.StarvedCS.Mean, short.StarvedCS.Mean)
+	}
+	// And the short-range case is nearly starvation-free in absolute
+	// terms ("free of starvation", §4.3).
+	if short.StarvedCS.Mean > 0.05 {
+		t.Errorf("short-range CS starvation = %v, want < 5%%", short.StarvedCS.Mean)
+	}
+}
+
+func TestShadowingExampleConsistency(t *testing.T) {
+	// The §3.4 worked example: closed-form pieces and the direct MC
+	// estimate must agree on order of magnitude, and the individual
+	// probabilities match the analysis.
+	m := New(DefaultParams())
+	ex := m.EstimateShadowingExample(5, 400_000, 20, 20, 40)
+	if ex.PSpuriousConcurrency < 0.10 || ex.PSpuriousConcurrency > 0.22 {
+		t.Errorf("P[spurious] = %v", ex.PSpuriousConcurrency)
+	}
+	if ex.PSmothered < 0.15 || ex.PSmothered > 0.25 {
+		t.Errorf("P[smothered] = %v", ex.PSmothered)
+	}
+	if ex.PBadSNR < 0.015 || ex.PBadSNR > 0.06 {
+		t.Errorf("closed-form P[bad] = %v, paper ballpark 4%%", ex.PBadSNR)
+	}
+	// MC estimate within a factor ~2 of the closed-form product (the
+	// product ignores shadowing on the serving link).
+	ratio := ex.PBadSNRMC.Mean / ex.PBadSNR
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("MC/closed-form ratio = %v (MC %v, closed %v)", ratio, ex.PBadSNRMC.Mean, ex.PBadSNR)
+	}
+}
+
+func TestLumpedDistanceFactor(t *testing.T) {
+	m := New(DefaultParams())
+	// §3.4: 14 dB at α = 3 is "a distance factor of about 3x".
+	if got := m.LumpedDistanceFactor(14); math.Abs(got-2.93) > 0.05 {
+		t.Errorf("14 dB factor = %v, want ~2.9", got)
+	}
+	// 0 dB is no factor.
+	if got := m.LumpedDistanceFactor(0); got != 1 {
+		t.Errorf("0 dB factor = %v", got)
+	}
+}
+
+func TestPercentileHelper(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := percentile(xs, 1); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := percentile(xs, 0.5); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("percentile sorted its input")
+	}
+}

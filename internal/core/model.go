@@ -1,0 +1,279 @@
+// Package core implements the paper's theoretical model of carrier
+// sense (§3): two competing sender-receiver pairs under power-law path
+// loss and lognormal shadowing, with adaptive-bitrate capacity modeled
+// by Shannon's formula, compared across four MAC policies —
+// concurrency, time-division multiplexing, threshold carrier sense,
+// and a genie-optimal binary choice subject to a weak fairness
+// constraint.
+//
+// Geometry (Figure 1): sender S1 sits at the origin; its receiver R1
+// is uniform over the disc of radius R_max around it. The interfering
+// sender S2 sits at (D, π), i.e. Cartesian (-D, 0); its receiver R2 is
+// uniform over the R_max disc around S2. Distances are the paper's
+// dimensionless "65 dB units" (§3.2.2): the noise floor N = N0/P0
+// defaults to -65 dB so that r = 20 yields ≈26 dB SNR.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"carriersense/internal/capacity"
+	"carriersense/internal/geometry"
+	"carriersense/internal/rng"
+)
+
+// DefaultNoiseDB is the paper's default noise floor N = N0/P0 in dB
+// (footnote 5: convenient for 802.11-like hardware with ~15 dBm
+// transmit power and a ~-95 dBm noise floor).
+const DefaultNoiseDB = -65
+
+// Params are the environment parameters of the model: the propagation
+// exponent and shadowing spread of §2, the normalized noise floor, and
+// the capacity model (Shannon unless an ablation swaps it).
+type Params struct {
+	// Alpha is the path loss exponent (typically 2-4).
+	Alpha float64
+	// SigmaDB is the lognormal shadowing standard deviation in dB
+	// (typically 4-12); zero gives the simplified model of §3.3.
+	SigmaDB float64
+	// NoiseDB is N = N0/P0 in dB. The paper fixes -65 dB; changing it
+	// rescales all distances (§3.2.2).
+	NoiseDB float64
+	// Capacity maps linear SINR to throughput. Nil means Shannon.
+	Capacity capacity.Model
+}
+
+// DefaultParams returns the paper's default environment: α = 3,
+// σ = 8 dB, N = -65 dB, Shannon capacity.
+func DefaultParams() Params {
+	return Params{Alpha: 3, SigmaDB: 8, NoiseDB: DefaultNoiseDB}
+}
+
+// NoShadowParams returns the simplified (σ = 0) environment of §3.3.
+func NoShadowParams() Params {
+	p := DefaultParams()
+	p.SigmaDB = 0
+	return p
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Alpha <= 0 {
+		return fmt.Errorf("core: path loss exponent must be positive, got %v", p.Alpha)
+	}
+	if p.SigmaDB < 0 {
+		return fmt.Errorf("core: shadowing sigma must be nonnegative, got %v", p.SigmaDB)
+	}
+	if p.NoiseDB >= 0 {
+		return fmt.Errorf("core: noise floor %v dB not below unit-distance power", p.NoiseDB)
+	}
+	return nil
+}
+
+// Noise returns the linear noise floor N.
+func (p Params) Noise() float64 {
+	return math.Pow(10, p.NoiseDB/10)
+}
+
+func (p Params) capModel() capacity.Model {
+	if p.Capacity == nil {
+		return capacity.NewShannon()
+	}
+	return p.Capacity
+}
+
+// Model evaluates the paper's capacity formulas for one environment.
+// It is stateless and safe for concurrent use.
+type Model struct {
+	params Params
+	noise  float64
+	cap    capacity.Model
+}
+
+// New constructs a Model. It panics on invalid parameters, which are
+// programmer errors (all entry points construct Params from literals).
+func New(p Params) *Model {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Model{params: p, noise: p.Noise(), cap: p.capModel()}
+}
+
+// Params returns the model's parameters.
+func (m *Model) Params() Params { return m.params }
+
+// Noise returns the linear noise floor.
+func (m *Model) Noise() float64 { return m.noise }
+
+// pathGain returns the deterministic power-law gain d^-α.
+func (m *Model) pathGain(d float64) float64 {
+	const minDist = 1e-9
+	if d < minDist {
+		d = minDist
+	}
+	return math.Pow(d, -m.params.Alpha)
+}
+
+// ThresholdPower converts a nominal threshold distance to the
+// threshold power P_thresh = D_thresh^-α (the median sensed power at
+// separation D_thresh; DESIGN.md §4 fixes the sign convention).
+func (m *Model) ThresholdPower(dThresh float64) float64 {
+	return m.pathGain(dThresh)
+}
+
+// ThresholdDistance converts a threshold power back to its nominal
+// distance.
+func (m *Model) ThresholdDistance(pThresh float64) float64 {
+	return math.Pow(pThresh, -1/m.params.Alpha)
+}
+
+// EquivalentDistanceAtAlpha re-expresses a threshold power as a
+// distance under a reference exponent (Figure 7 uses α = 3).
+func EquivalentDistanceAtAlpha(pThresh, alpha float64) float64 {
+	return math.Pow(pThresh, -1/alpha)
+}
+
+// Config is one fully sampled configuration of the two-pair scenario:
+// receiver positions plus every shadowing draw the capacity formulas
+// consume. With SigmaDB = 0 all shadowing factors are 1 and a Config
+// is purely geometric.
+type Config struct {
+	D float64 // sender-sender separation
+
+	R1, Theta1 float64 // receiver 1, polar around S1
+	R2, Theta2 float64 // receiver 2, polar around S2
+
+	LSig1  float64 // shadowing S1→R1 (serving link 1)
+	LInt1  float64 // shadowing S2→R1 (interference into R1)
+	LSig2  float64 // shadowing S2→R2 (serving link 2)
+	LInt2  float64 // shadowing S1→R2 (interference into R2)
+	LSense float64 // shadowing S1↔S2 (the carrier sense channel; one
+	// draw shared by both senders — the model assumes
+	// equal sensed powers, §3.2.1)
+}
+
+// SampleConfig draws a random configuration: receivers uniform over
+// their R_max discs and independent lognormal shadowing on the five
+// channels (footnote 14: distributions assumed uncorrelated).
+func (m *Model) SampleConfig(src *rng.Source, rmax, d float64) Config {
+	p1 := geometry.UniformInDisc(src, rmax)
+	p2 := geometry.UniformInDisc(src, rmax)
+	sigma := m.params.SigmaDB
+	return Config{
+		D:      d,
+		R1:     p1.Norm(),
+		Theta1: math.Atan2(p1.Y, p1.X),
+		R2:     p2.Norm(),
+		Theta2: math.Atan2(p2.Y, p2.X),
+		LSig1:  src.LognormalDB(sigma),
+		LInt1:  src.LognormalDB(sigma),
+		LSig2:  src.LognormalDB(sigma),
+		LInt2:  src.LognormalDB(sigma),
+		LSense: src.LognormalDB(sigma),
+	}
+}
+
+// SignalPower returns the serving signal power at receiver i (1 or 2).
+func (m *Model) SignalPower(c Config, i int) float64 {
+	if i == 1 {
+		return m.pathGain(c.R1) * c.LSig1
+	}
+	return m.pathGain(c.R2) * c.LSig2
+}
+
+// InterferencePower returns the interfering sender's power at receiver
+// i. By the symmetry of the scenario, the interferer-receiver distance
+// for both pairs is Δr(r, θ, D) of §3.2.2.
+func (m *Model) InterferencePower(c Config, i int) float64 {
+	if i == 1 {
+		return m.pathGain(geometry.InterfererDistance(c.R1, c.Theta1, c.D)) * c.LInt1
+	}
+	return m.pathGain(geometry.InterfererDistance(c.R2, c.Theta2, c.D)) * c.LInt2
+}
+
+// SensedPower returns the power each sender senses from the other:
+// D^-α · L″.
+func (m *Model) SensedPower(c Config) float64 {
+	return m.pathGain(c.D) * c.LSense
+}
+
+// CSingle is the no-competition throughput of pair i:
+// cap(signal / N) — equation C_single of §3.2.2.
+func (m *Model) CSingle(c Config, i int) float64 {
+	return m.cap.Throughput(m.SignalPower(c, i) / m.noise)
+}
+
+// CMultiplexing is pair i's throughput under ideal time-division
+// multiplexing: half the no-competition throughput.
+func (m *Model) CMultiplexing(c Config, i int) float64 {
+	return m.CSingle(c, i) / 2
+}
+
+// CConcurrent is pair i's throughput when both senders transmit
+// simultaneously: cap(signal / (N + interference)).
+func (m *Model) CConcurrent(c Config, i int) float64 {
+	snr := m.SignalPower(c, i) / (m.noise + m.InterferencePower(c, i))
+	return m.cap.Throughput(snr)
+}
+
+// Defers reports the carrier sense decision for the configuration:
+// true when the sensed power exceeds the threshold (multiplex), false
+// when below (transmit concurrently).
+func (m *Model) Defers(c Config, pThresh float64) bool {
+	return m.SensedPower(c) > pThresh
+}
+
+// CCarrierSense is pair i's throughput under threshold carrier sense:
+// the piecewise C_cs of §3.2.2.
+func (m *Model) CCarrierSense(c Config, i int, pThresh float64) float64 {
+	if m.Defers(c, pThresh) {
+		return m.CMultiplexing(c, i)
+	}
+	return m.CConcurrent(c, i)
+}
+
+// CMax is the genie-optimal per-pair average throughput: the better of
+// all-concurrent and all-multiplexed, decided jointly over both pairs
+// (½·Max[ΣC_conc, ΣC_mux] of §3.2.2). The weak fairness constraint —
+// equal channel resources for both senders — is what restricts the
+// genie to this binary choice.
+func (m *Model) CMax(c Config) float64 {
+	conc := m.CConcurrent(c, 1) + m.CConcurrent(c, 2)
+	mux := m.CMultiplexing(c, 1) + m.CMultiplexing(c, 2)
+	return math.Max(conc, mux) / 2
+}
+
+// OptimalPrefersConcurrency reports which branch CMax takes for the
+// configuration.
+func (m *Model) OptimalPrefersConcurrency(c Config) bool {
+	conc := m.CConcurrent(c, 1) + m.CConcurrent(c, 2)
+	mux := m.CMultiplexing(c, 1) + m.CMultiplexing(c, 2)
+	return conc >= mux
+}
+
+// CUBMax is the per-pair upper bound on optimal throughput that
+// decouples the pairs: Max[C_conc, C_mux] for pair i alone (§3.2.2).
+// ⟨C_max⟩ ≤ ⟨C_UBmax⟩, and footnote 10 identifies the gap as the
+// headroom an "aggressive" MAC forfeits by having to serve both pairs.
+func (m *Model) CUBMax(c Config, i int) float64 {
+	return math.Max(m.CConcurrent(c, i), m.CMultiplexing(c, i))
+}
+
+// PrefersMultiplexing reports whether receiver i, in isolation, does
+// better under multiplexing than concurrency (the preference regions
+// of Figure 3).
+func (m *Model) PrefersMultiplexing(c Config, i int) bool {
+	return m.CMultiplexing(c, i) > m.CConcurrent(c, i)
+}
+
+// StarvedUnderConcurrency reports whether receiver i gets less than
+// frac (the paper uses 0.10) of its C_UBmax under concurrency — the
+// white regions of Figure 3, the genuinely "hidden" terminals.
+func (m *Model) StarvedUnderConcurrency(c Config, i int, frac float64) bool {
+	ub := m.CUBMax(c, i)
+	if ub <= 0 {
+		return false
+	}
+	return m.CConcurrent(c, i) < frac*ub
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"carriersense/internal/capacity"
+	"carriersense/internal/rng"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	bad := DefaultParams()
+	bad.Alpha = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	bad = DefaultParams()
+	bad.SigmaDB = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	bad = DefaultParams()
+	bad.NoiseDB = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("positive noise floor accepted")
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid params did not panic")
+		}
+	}()
+	New(Params{Alpha: -1, NoiseDB: -65})
+}
+
+func TestNoiseLinear(t *testing.T) {
+	m := New(DefaultParams())
+	if got := m.Noise(); math.Abs(got-math.Pow(10, -6.5)) > 1e-12 {
+		t.Errorf("noise = %v", got)
+	}
+}
+
+func TestThresholdPowerDistanceRoundTrip(t *testing.T) {
+	m := New(DefaultParams())
+	f := func(raw float64) bool {
+		d := 1 + math.Abs(math.Mod(raw, 200))
+		p := m.ThresholdPower(d)
+		return math.Abs(m.ThresholdDistance(p)-d) < 1e-6*d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquivalentDistanceAtAlpha(t *testing.T) {
+	// A threshold power measured as distance 55 at α = 3 must map back
+	// to 55 at α = 3.
+	m := New(DefaultParams())
+	p := m.ThresholdPower(55)
+	if got := EquivalentDistanceAtAlpha(p, 3); math.Abs(got-55) > 1e-9 {
+		t.Errorf("equivalent distance = %v, want 55", got)
+	}
+}
+
+// fixedConfig builds a deterministic configuration for formula checks.
+func fixedConfig(d, r1, theta1 float64) Config {
+	return Config{
+		D: d, R1: r1, Theta1: theta1, R2: r1, Theta2: theta1,
+		LSig1: 1, LInt1: 1, LSig2: 1, LInt2: 1, LSense: 1,
+	}
+}
+
+func TestCapacityFormulas(t *testing.T) {
+	m := New(NoShadowParams())
+	c := fixedConfig(55, 20, 0)
+
+	// C_single = ln(1 + r^-α/N).
+	wantSingle := math.Log1p(math.Pow(20, -3) / m.Noise())
+	if got := m.CSingle(c, 1); math.Abs(got-wantSingle) > 1e-12 {
+		t.Errorf("CSingle = %v, want %v", got, wantSingle)
+	}
+	// Multiplexing is exactly half.
+	if got := m.CMultiplexing(c, 1); math.Abs(got-wantSingle/2) > 1e-12 {
+		t.Errorf("CMultiplexing = %v, want %v", got, wantSingle/2)
+	}
+	// Concurrency with the receiver at θ=0 (away from the interferer):
+	// Δr = r + D = 75.
+	interf := math.Pow(75, -3)
+	wantConc := math.Log1p(math.Pow(20, -3) / (m.Noise() + interf))
+	if got := m.CConcurrent(c, 1); math.Abs(got-wantConc) > 1e-12 {
+		t.Errorf("CConcurrent = %v, want %v", got, wantConc)
+	}
+	// Concurrency is never better than no-competition.
+	if m.CConcurrent(c, 1) > m.CSingle(c, 1) {
+		t.Error("concurrency exceeded single")
+	}
+}
+
+func TestCConcurrentDegradesWithCloserInterferer(t *testing.T) {
+	m := New(NoShadowParams())
+	prev := math.Inf(1)
+	for _, d := range []float64{200, 100, 50, 25, 10} {
+		c := fixedConfig(d, 20, math.Pi/2)
+		got := m.CConcurrent(c, 1)
+		if got >= prev {
+			t.Errorf("concurrency did not degrade at D=%v: %v >= %v", d, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestDefersThreshold(t *testing.T) {
+	m := New(NoShadowParams())
+	pThresh := m.ThresholdPower(55)
+	if !m.Defers(fixedConfig(54, 10, 0), pThresh) {
+		t.Error("sender at D=54 should defer with Dthresh=55")
+	}
+	if m.Defers(fixedConfig(56, 10, 0), pThresh) {
+		t.Error("sender at D=56 should not defer with Dthresh=55")
+	}
+}
+
+func TestDefersWithShadowing(t *testing.T) {
+	m := New(DefaultParams())
+	pThresh := m.ThresholdPower(55)
+	c := fixedConfig(55, 10, 0)
+	c.LSense = 2 // +3 dB shadowing on the sensing path
+	if !m.Defers(c, pThresh) {
+		t.Error("favorable sensing shadowing should trigger deferral")
+	}
+	c.LSense = 0.5
+	if m.Defers(c, pThresh) {
+		t.Error("unfavorable sensing shadowing should suppress deferral")
+	}
+}
+
+func TestCCarrierSensePiecewise(t *testing.T) {
+	m := New(NoShadowParams())
+	pThresh := m.ThresholdPower(55)
+	near := fixedConfig(30, 20, 1)
+	if got, want := m.CCarrierSense(near, 1, pThresh), m.CMultiplexing(near, 1); got != want {
+		t.Errorf("near CS = %v, want mux %v", got, want)
+	}
+	far := fixedConfig(120, 20, 1)
+	if got, want := m.CCarrierSense(far, 1, pThresh), m.CConcurrent(far, 1); got != want {
+		t.Errorf("far CS = %v, want conc %v", got, want)
+	}
+}
+
+func TestCMaxIsBinaryChoice(t *testing.T) {
+	m := New(NoShadowParams())
+	f := func(rawD, rawR, rawTheta float64) bool {
+		d := 1 + math.Abs(math.Mod(rawD, 150))
+		r := 0.5 + math.Abs(math.Mod(rawR, 100))
+		theta := math.Mod(rawTheta, 2*math.Pi)
+		c := fixedConfig(d, r, theta)
+		conc := (m.CConcurrent(c, 1) + m.CConcurrent(c, 2)) / 2
+		mux := (m.CMultiplexing(c, 1) + m.CMultiplexing(c, 2)) / 2
+		got := m.CMax(c)
+		return math.Abs(got-math.Max(conc, mux)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCUBMaxBoundsCMax(t *testing.T) {
+	// Per-pair UB decouples the pairs: the average of the two pairs'
+	// UBs is ≥ C_max for every configuration (footnote 10's gap).
+	m := New(DefaultParams())
+	src := rng.New(5)
+	for i := 0; i < 5_000; i++ {
+		c := m.SampleConfig(src, 60, 45)
+		ub := (m.CUBMax(c, 1) + m.CUBMax(c, 2)) / 2
+		if m.CMax(c) > ub+1e-12 {
+			t.Fatalf("CMax %v exceeded UB %v", m.CMax(c), ub)
+		}
+	}
+}
+
+func TestPairSymmetry(t *testing.T) {
+	// The two pairs are statistically identical: their sampled average
+	// throughputs must agree within Monte Carlo noise.
+	m := New(DefaultParams())
+	src := rng.New(6)
+	var sum1, sum2 float64
+	n := 100_000
+	for i := 0; i < n; i++ {
+		c := m.SampleConfig(src, 40, 55)
+		sum1 += m.CConcurrent(c, 1)
+		sum2 += m.CConcurrent(c, 2)
+	}
+	if diff := math.Abs(sum1-sum2) / sum1; diff > 0.02 {
+		t.Errorf("pair asymmetry %v", diff)
+	}
+}
+
+func TestSampleConfigBounds(t *testing.T) {
+	m := New(DefaultParams())
+	src := rng.New(7)
+	for i := 0; i < 10_000; i++ {
+		c := m.SampleConfig(src, 30, 55)
+		if c.R1 > 30 || c.R2 > 30 {
+			t.Fatalf("receiver outside Rmax: %v %v", c.R1, c.R2)
+		}
+		if c.LSig1 <= 0 || c.LSense <= 0 {
+			t.Fatalf("non-positive shadowing factor")
+		}
+	}
+}
+
+func TestSampleConfigNoShadowing(t *testing.T) {
+	m := New(NoShadowParams())
+	src := rng.New(8)
+	c := m.SampleConfig(src, 30, 55)
+	if c.LSig1 != 1 || c.LInt1 != 1 || c.LSense != 1 {
+		t.Errorf("sigma=0 config has shadowing: %+v", c)
+	}
+}
+
+func TestStarvationDefinition(t *testing.T) {
+	m := New(NoShadowParams())
+	// Receiver right next to the interferer: starved under concurrency.
+	c := fixedConfig(20, 19, math.Pi) // ~1 unit from the interferer
+	if !m.StarvedUnderConcurrency(c, 1, 0.10) {
+		t.Error("receiver adjacent to interferer not starved")
+	}
+	// Receiver far on the other side with a distant interferer: fine.
+	c = fixedConfig(200, 5, 0)
+	if m.StarvedUnderConcurrency(c, 1, 0.10) {
+		t.Error("well-separated receiver starved")
+	}
+}
+
+func TestPrefersMultiplexing(t *testing.T) {
+	m := New(NoShadowParams())
+	// Close interferer: multiplexing preferred.
+	if !m.PrefersMultiplexing(fixedConfig(5, 20, math.Pi/2), 1) {
+		t.Error("close interferer should prefer multiplexing")
+	}
+	// Very far interferer: concurrency preferred.
+	if m.PrefersMultiplexing(fixedConfig(500, 20, math.Pi/2), 1) {
+		t.Error("far interferer should prefer concurrency")
+	}
+}
+
+func TestCustomCapacityModel(t *testing.T) {
+	// Swapping in a fixed-rate capacity model changes the answers —
+	// the ablation hook works end to end.
+	p := NoShadowParams()
+	p.Capacity = capacity.FixedRate{Rate: 1, MinSNR: 10}
+	m := New(p)
+	c := fixedConfig(500, 20, 0)
+	if got := m.CSingle(c, 1); got != 1 {
+		t.Errorf("fixed-rate single = %v, want 1", got)
+	}
+	// Under heavy interference the fixed-rate link delivers nothing.
+	c = fixedConfig(1, 20, math.Pi)
+	if got := m.CConcurrent(c, 1); got != 0 {
+		t.Errorf("fixed-rate under interference = %v, want 0", got)
+	}
+}

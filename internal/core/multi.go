@@ -1,0 +1,327 @@
+package core
+
+import (
+	"carriersense/internal/geometry"
+	"carriersense/internal/montecarlo"
+	"carriersense/internal/rng"
+)
+
+// This file extends the two-pair model of §3 to n competing
+// sender-receiver pairs — the case the paper set aside with "small
+// n > 2 does not appear to fundamentally alter the results, but it
+// does complicate matters dramatically" (§3.2.1), and the dimension
+// along which [Vutukuru08]'s exposed-terminal gains grew (footnote 18:
+// "their best result, 47% average improvement, required six concurrent
+// senders").
+//
+// Policies generalize as follows:
+//
+//   - TDMA: each pair owns 1/n of the time at full capacity.
+//   - Concurrency: everyone transmits; interference sums over the
+//     other n-1 senders.
+//   - Carrier sense: per round, a random arrival order greedily builds
+//     a maximal independent set of the *sensing graph* (senders join
+//     when no already-active sender is sensed above threshold) — the
+//     natural n-sender abstraction of DCF.
+//   - UniformK (the fairness-respecting optimal proxy): in each slot a
+//     uniformly random k-subset transmits, so every sender gets k/n of
+//     the airtime; the best k nests TDMA (k = 1) and full concurrency
+//     (k = n) and reduces to the paper's binary choice at n = 2.
+
+// MultiParams configures the n-pair model.
+type MultiParams struct {
+	Env Params
+	// NPairs is the number of competing sender-receiver pairs.
+	NPairs int
+	// AreaRadius is the radius of the disc the senders are scattered
+	// over (the analogue of the two-pair D, now a density knob).
+	AreaRadius float64
+	// Rmax is the receiver placement radius around each sender.
+	Rmax float64
+	// DThresh is the carrier sense threshold distance.
+	DThresh float64
+	// Rounds is the number of random DCF rounds averaged per sampled
+	// configuration (CS policy only).
+	Rounds int
+}
+
+// DefaultMultiParams spreads n pairs over a disc sized so the mean
+// nearest-neighbor spacing sits in the transition region when n = 2.
+func DefaultMultiParams(nPairs int) MultiParams {
+	return MultiParams{
+		Env:        DefaultParams(),
+		NPairs:     nPairs,
+		AreaRadius: 80,
+		Rmax:       40,
+		DThresh:    55,
+		Rounds:     24,
+	}
+}
+
+// MultiModel evaluates the n-pair extension.
+type MultiModel struct {
+	p     MultiParams
+	model *Model
+}
+
+// NewMulti constructs the n-pair model. Panics on invalid parameters.
+func NewMulti(p MultiParams) *MultiModel {
+	if p.NPairs < 1 {
+		panic("core: NPairs must be >= 1")
+	}
+	if p.Rounds < 1 {
+		p.Rounds = 1
+	}
+	return &MultiModel{p: p, model: New(p.Env)}
+}
+
+// multiConfig is one sampled n-pair configuration.
+type multiConfig struct {
+	senders   []geometry.Point
+	receivers []geometry.Point
+	lSig      []float64   // sender_i -> receiver_i
+	lInt      [][]float64 // lInt[j][i]: sender_j -> receiver_i
+	lSense    [][]float64 // symmetric sender_i <-> sender_j
+}
+
+// sample draws senders uniform over the area disc, receivers uniform
+// within Rmax of their senders, and independent lognormal shadowing on
+// every channel (sensing symmetric, as in the two-pair model).
+func (mm *MultiModel) sample(src *rng.Source) multiConfig {
+	n := mm.p.NPairs
+	sigma := mm.p.Env.SigmaDB
+	c := multiConfig{
+		senders:   make([]geometry.Point, n),
+		receivers: make([]geometry.Point, n),
+		lSig:      make([]float64, n),
+		lInt:      make([][]float64, n),
+		lSense:    make([][]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		c.senders[i] = geometry.UniformInDisc(src, mm.p.AreaRadius)
+		c.receivers[i] = c.senders[i].Add(geometry.UniformInDisc(src, mm.p.Rmax))
+		c.lSig[i] = src.LognormalDB(sigma)
+		c.lInt[i] = make([]float64, n)
+		c.lSense[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i != j {
+				c.lInt[j][i] = src.LognormalDB(sigma)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l := src.LognormalDB(sigma)
+			c.lSense[i][j] = l
+			c.lSense[j][i] = l
+		}
+	}
+	return c
+}
+
+// pairCapacity returns pair i's capacity when the senders in active
+// (a bitmask) transmit concurrently. Pair i must be active.
+func (mm *MultiModel) pairCapacity(c multiConfig, i int, active uint64) float64 {
+	noise := mm.model.noise
+	interf := 0.0
+	for j := range c.senders {
+		if j == i || active&(1<<uint(j)) == 0 {
+			continue
+		}
+		d := c.senders[j].Dist(c.receivers[i])
+		interf += mm.model.pathGain(d) * c.lInt[j][i]
+	}
+	sig := mm.model.pathGain(c.senders[i].Dist(c.receivers[i])) * c.lSig[i]
+	return mm.model.cap.Throughput(sig / (noise + interf))
+}
+
+// sensed reports whether sender i senses sender j above threshold.
+func (mm *MultiModel) sensed(c multiConfig, i, j int, pThresh float64) bool {
+	d := c.senders[i].Dist(c.senders[j])
+	return mm.model.pathGain(d)*c.lSense[i][j] > pThresh
+}
+
+// csRound runs one DCF round: arrival order is a random permutation;
+// each sender joins unless it senses an already-active sender. Returns
+// the active bitmask.
+func (mm *MultiModel) csRound(src *rng.Source, c multiConfig, pThresh float64) uint64 {
+	n := mm.p.NPairs
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	src.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+	var active uint64
+	for _, i := range order {
+		blocked := false
+		for j := 0; j < n; j++ {
+			if active&(1<<uint(j)) != 0 && mm.sensed(c, i, j, pThresh) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			active |= 1 << uint(i)
+		}
+	}
+	return active
+}
+
+// csThroughput averages per-pair CS throughput over DCF rounds.
+func (mm *MultiModel) csThroughput(src *rng.Source, c multiConfig, pThresh float64) float64 {
+	n := mm.p.NPairs
+	total := 0.0
+	for r := 0; r < mm.p.Rounds; r++ {
+		active := mm.csRound(src, c, pThresh)
+		// Active senders split the round among themselves implicitly:
+		// everyone in the independent set transmits for the full
+		// round; blocked senders get nothing this round. Averaging
+		// over rounds with random order restores long-run fairness,
+		// just as DCF's backoff lottery does.
+		for i := 0; i < n; i++ {
+			if active&(1<<uint(i)) != 0 {
+				total += mm.pairCapacity(c, i, active)
+			}
+		}
+	}
+	return total / float64(mm.p.Rounds) / float64(n)
+}
+
+// uniformKThroughput estimates per-pair throughput when each slot
+// activates a uniformly random k-subset. Exact enumeration is used
+// when the subset count is small; otherwise sampled.
+func (mm *MultiModel) uniformKThroughput(src *rng.Source, c multiConfig, k int) float64 {
+	n := mm.p.NPairs
+	if k <= 0 {
+		return 0
+	}
+	if k >= n {
+		total := 0.0
+		all := uint64(1<<uint(n)) - 1
+		for i := 0; i < n; i++ {
+			total += mm.pairCapacity(c, i, all)
+		}
+		return total / float64(n)
+	}
+	// Sample random k-subsets.
+	const subsetSamples = 12
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	total := 0.0
+	for s := 0; s < subsetSamples; s++ {
+		src.Shuffle(n, func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		var active uint64
+		for _, i := range idx[:k] {
+			active |= 1 << uint(i)
+		}
+		for _, i := range idx[:k] {
+			total += mm.pairCapacity(c, i, active)
+		}
+	}
+	// Each sender is active with probability k/n; the sum above counts
+	// k senders per subset sample.
+	return total / float64(subsetSamples) / float64(n)
+}
+
+// MultiAverages is the n-pair analogue of Averages: expected per-pair
+// throughput of every policy.
+type MultiAverages struct {
+	NPairs int
+	TDMA   montecarlo.Estimate
+	Conc   montecarlo.Estimate
+	CS     montecarlo.Estimate
+	// BestK is the best uniform-concurrency-level policy: the
+	// fairness-respecting optimal proxy (max over k of UniformK).
+	BestK montecarlo.Estimate
+	// MeanBestLevel is the average optimal concurrency level k*.
+	MeanBestLevel montecarlo.Estimate
+	// AvgActive is the mean number of simultaneously active senders
+	// under carrier sense.
+	AvgActive montecarlo.Estimate
+}
+
+// Efficiency returns CS as a fraction of the best uniform-k policy.
+func (a MultiAverages) Efficiency() float64 {
+	if a.BestK.Mean == 0 {
+		return 0
+	}
+	return a.CS.Mean / a.BestK.Mean
+}
+
+// ExposedHeadroom returns the fractional gain a perfect concurrency
+// scheduler would add over carrier sense — the quantity footnote 18
+// expects to grow with n.
+func (a MultiAverages) ExposedHeadroom() float64 {
+	if a.CS.Mean == 0 {
+		return 0
+	}
+	return a.BestK.Mean/a.CS.Mean - 1
+}
+
+// EstimateMulti runs the n-pair Monte Carlo.
+func (mm *MultiModel) EstimateMulti(seed uint64, nSamples int) MultiAverages {
+	n := mm.p.NPairs
+	pThresh := mm.model.ThresholdPower(mm.p.DThresh)
+	const (
+		idxTDMA = iota
+		idxConc
+		idxCS
+		idxBestK
+		idxBestLevel
+		idxActive
+		nIdx
+	)
+	est := montecarlo.MeanVec(seed, nSamples, nIdx, func(src *rng.Source, out []float64) {
+		c := mm.sample(src)
+		all := uint64(1<<uint(n)) - 1
+		// TDMA.
+		tdma := 0.0
+		for i := 0; i < n; i++ {
+			tdma += mm.pairCapacity(c, i, 1<<uint(i)) / float64(n)
+		}
+		out[idxTDMA] = tdma / float64(n)
+		// Full concurrency.
+		conc := 0.0
+		for i := 0; i < n; i++ {
+			conc += mm.pairCapacity(c, i, all)
+		}
+		out[idxConc] = conc / float64(n)
+		// Carrier sense.
+		out[idxCS] = mm.csThroughput(src, c, pThresh)
+		// Active count under CS (one extra round, cheap).
+		active := mm.csRound(src, c, pThresh)
+		out[idxActive] = float64(popcount(active))
+		// Best uniform-k.
+		best, bestK := 0.0, 1
+		for k := 1; k <= n; k++ {
+			v := mm.uniformKThroughput(src, c, k)
+			if v > best {
+				best, bestK = v, k
+			}
+		}
+		out[idxBestK] = best
+		out[idxBestLevel] = float64(bestK)
+	})
+	return MultiAverages{
+		NPairs:        n,
+		TDMA:          est[idxTDMA],
+		Conc:          est[idxConc],
+		CS:            est[idxCS],
+		BestK:         est[idxBestK],
+		MeanBestLevel: est[idxBestLevel],
+		AvgActive:     est[idxActive],
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"carriersense/internal/core"
+	"carriersense/internal/plot"
+)
+
+// LandscapeParams configures the Figure 2/3 rasters.
+type LandscapeParams struct {
+	Alpha   float64
+	DValues []float64 // interferer distances (paper: 20, 55, 120)
+	Extent  float64   // half-width of the raster
+	Cells   int       // raster resolution per side
+}
+
+// DefaultLandscape matches Figure 2/3: α = 3, σ = 0, D ∈ {20, 55, 120}.
+func DefaultLandscape() LandscapeParams {
+	return LandscapeParams{
+		Alpha:   3,
+		DValues: []float64{20, 55, 120},
+		Extent:  130,
+		Cells:   56,
+	}
+}
+
+// LandscapeResult holds the Figure 2 grids: the no-competition and
+// multiplexing references plus one concurrency landscape per D.
+type LandscapeResult struct {
+	Params      LandscapeParams
+	Single      *core.Grid
+	Mux         *core.Grid
+	Concurrency []*core.Grid // one per DValues
+}
+
+// Landscape rasterizes Figure 2's capacity landscapes.
+func Landscape(p LandscapeParams) LandscapeResult {
+	m := core.New(core.Params{Alpha: p.Alpha, SigmaDB: 0, NoiseDB: core.DefaultNoiseDB})
+	res := LandscapeResult{Params: p}
+	res.Single = m.Landscape(core.PolicySingle, 0, p.Extent, p.Cells)
+	res.Mux = m.Landscape(core.PolicyMultiplexing, 0, p.Extent, p.Cells)
+	for _, d := range p.DValues {
+		res.Concurrency = append(res.Concurrency, m.Landscape(core.PolicyConcurrent, d, p.Extent, p.Cells))
+	}
+	return res
+}
+
+// Render draws all landscapes as heatmaps, marking the sender (S) and
+// interferer (I).
+func (r LandscapeResult) Render(w io.Writer) {
+	draw := func(title string, g *core.Grid, d float64) {
+		h := plot.Heatmap{
+			Title:  title,
+			Values: g.Values,
+			Overlay: func(row, col int) rune {
+				cx := r.Params.Cells / 2
+				if row == cx && col == cx {
+					return 'S'
+				}
+				if d > 0 {
+					icol := int(((-d)/r.Params.Extent + 1) / 2 * float64(r.Params.Cells))
+					if row == cx && col == icol {
+						return 'I'
+					}
+				}
+				return 0
+			},
+		}
+		h.Render(w)
+		fmt.Fprintln(w)
+	}
+	draw("F2: no competition", r.Single, 0)
+	draw("F2: multiplexing", r.Mux, 0)
+	for i, d := range r.Params.DValues {
+		draw(fmt.Sprintf("F2: concurrency, interferer at D=%.0f", d), r.Concurrency[i], d)
+	}
+}
+
+// PreferenceResult holds the Figure 3 maps and their area shares.
+type PreferenceResult struct {
+	Params LandscapeParams
+	Maps   []*core.Grid
+	// Shares[i] are the (concurrency, multiplexing, starved) area
+	// fractions within R_max = 100 of the sender for DValues[i].
+	Shares [][3]float64
+}
+
+// Preference rasterizes Figure 3's receiver preference regions.
+func Preference(p LandscapeParams) PreferenceResult {
+	m := core.New(core.Params{Alpha: p.Alpha, SigmaDB: 0, NoiseDB: core.DefaultNoiseDB})
+	res := PreferenceResult{Params: p}
+	for _, d := range p.DValues {
+		g := m.PreferenceMap(d, p.Extent, p.Cells)
+		conc, mux, starved := g.PreferenceShares(100)
+		res.Maps = append(res.Maps, g)
+		res.Shares = append(res.Shares, [3]float64{conc, mux, starved})
+	}
+	return res
+}
+
+// Render draws the preference maps: '#' prefers concurrency, '.'
+// prefers multiplexing, ' ' starved (white in the paper's figure).
+func (r PreferenceResult) Render(w io.Writer) {
+	for i, d := range r.Params.DValues {
+		h := plot.Heatmap{
+			Title:  fmt.Sprintf("F3: receiver preferences, interferer at D=%.0f ('#'=concurrency, '.'=multiplexing, ' '=starved)", d),
+			Values: r.Maps[i].Values,
+			// Preference codes: 0 concurrency, 1 multiplexing, 2 starved.
+			Ramp: []rune{'#', '.', ' '},
+		}
+		h.Render(w)
+		s := r.Shares[i]
+		fmt.Fprintf(w, "shares within Rmax=100: concurrency %.0f%%, multiplexing %.0f%%, starved %.0f%%\n\n",
+			100*s[0], 100*s[1], 100*s[2])
+	}
+}

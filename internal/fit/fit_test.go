@@ -1,0 +1,134 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"carriersense/internal/rng"
+)
+
+// synth generates censored synthetic data from known parameters.
+func synth(seed uint64, n int, refSNR, alpha, sigma, threshold float64) ([]Sample, []CensoredPair) {
+	src := rng.New(seed)
+	var obs []Sample
+	var cen []CensoredPair
+	for i := 0; i < n; i++ {
+		// Distances log-uniform over [2, 120] m, like an indoor census.
+		d := math.Exp(src.Uniform(math.Log(2), math.Log(120)))
+		snr := refSNR - 10*alpha*math.Log10(d) + src.Normal(0, sigma)
+		if snr >= threshold {
+			obs = append(obs, Sample{DistanceM: d, SNRdB: snr})
+		} else {
+			cen = append(cen, CensoredPair{DistanceM: d})
+		}
+	}
+	return obs, cen
+}
+
+func TestFitRecoversParameters(t *testing.T) {
+	const (
+		refSNR    = 62.0
+		alpha     = 3.5
+		sigma     = 10.0
+		threshold = 3.0
+	)
+	obs, cen := synth(1, 1500, refSNR, alpha, sigma, threshold)
+	if len(cen) == 0 {
+		t.Fatal("synthetic data has no censoring; test is vacuous")
+	}
+	m, err := Fit(obs, cen, threshold, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Alpha-alpha) > 0.25 {
+		t.Errorf("alpha = %v, want %v", m.Alpha, alpha)
+	}
+	if math.Abs(m.SigmaDB-sigma) > 1.0 {
+		t.Errorf("sigma = %v, want %v", m.SigmaDB, sigma)
+	}
+	if math.Abs(m.RefSNRdB-refSNR) > 3 {
+		t.Errorf("refSNR = %v, want %v", m.RefSNRdB, refSNR)
+	}
+}
+
+func TestCensoredBeatsNaive(t *testing.T) {
+	// Heavy censoring: the naive OLS fit understates α and σ because
+	// the weak tail is invisible; the censored ML fit corrects it.
+	const (
+		refSNR    = 55.0
+		alpha     = 3.5
+		sigma     = 10.0
+		threshold = 10.0 // aggressive threshold: lots of censoring
+	)
+	obs, cen := synth(2, 2000, refSNR, alpha, sigma, threshold)
+	if frac := float64(len(cen)) / 2000; frac < 0.2 {
+		t.Fatalf("censored fraction %v too low for the test", frac)
+	}
+	ml, err := Fit(obs, cen, threshold, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := NaiveFit(obs, 1)
+	if naive.Alpha >= alpha-0.05 {
+		t.Errorf("naive alpha = %v; censoring should bias it below %v", naive.Alpha, alpha)
+	}
+	if math.Abs(ml.Alpha-alpha) >= math.Abs(naive.Alpha-alpha) {
+		t.Errorf("censored ML alpha %v no better than naive %v (true %v)", ml.Alpha, naive.Alpha, alpha)
+	}
+	if math.Abs(ml.SigmaDB-sigma) >= math.Abs(naive.SigmaDB-sigma) {
+		t.Errorf("censored ML sigma %v no better than naive %v (true %v)", ml.SigmaDB, naive.SigmaDB, sigma)
+	}
+}
+
+func TestFitNeedsData(t *testing.T) {
+	_, err := Fit([]Sample{{1, 1}, {2, 2}}, nil, 0, 1)
+	if !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestFitWithoutCensoring(t *testing.T) {
+	obs, _ := synth(3, 800, 60, 3, 6, -1000) // nothing censored
+	m, err := Fit(obs, nil, -1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Alpha-3) > 0.3 || math.Abs(m.SigmaDB-6) > 0.8 {
+		t.Errorf("uncensored fit alpha=%v sigma=%v", m.Alpha, m.SigmaDB)
+	}
+}
+
+func TestModelMean(t *testing.T) {
+	m := Model{RefSNRdB: 60, Alpha: 3, RefDistanceM: 1}
+	if got := m.Mean(1); got != 60 {
+		t.Errorf("mean at ref = %v", got)
+	}
+	if got := m.Mean(10); math.Abs(got-30) > 1e-9 {
+		t.Errorf("mean at 10x = %v, want 30", got)
+	}
+	// Clamped tiny distance must not blow up.
+	if got := m.Mean(0); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("mean at 0 = %v", got)
+	}
+}
+
+func TestResiduals(t *testing.T) {
+	m := Model{RefSNRdB: 60, Alpha: 3, RefDistanceM: 1}
+	obs := []Sample{{DistanceM: 10, SNRdB: 33}, {DistanceM: 10, SNRdB: 27}}
+	res := Residuals(m, obs)
+	if math.Abs(res[0]-3) > 1e-9 || math.Abs(res[1]+3) > 1e-9 {
+		t.Errorf("residuals = %v", res)
+	}
+}
+
+func TestLogLikelihoodImprovesOverStart(t *testing.T) {
+	obs, cen := synth(4, 600, 62, 3.5, 10, 3)
+	m, err := Fit(obs, cen, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(m.LogLikelihood) || math.IsInf(m.LogLikelihood, 0) {
+		t.Errorf("loglik = %v", m.LogLikelihood)
+	}
+}

@@ -1,0 +1,375 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"carriersense/internal/capacity"
+	"carriersense/internal/phy"
+	"carriersense/internal/rng"
+	"carriersense/internal/sim"
+)
+
+// matrixChannel is a symmetric gain matrix for small topologies.
+type matrixChannel map[[2]phy.NodeID]float64
+
+func (m matrixChannel) set(a, b phy.NodeID, g float64) {
+	m[[2]phy.NodeID{a, b}] = g
+	m[[2]phy.NodeID{b, a}] = g
+}
+
+func (m matrixChannel) GainDB(from, to phy.NodeID) float64 {
+	if g, ok := m[[2]phy.NodeID{from, to}]; ok {
+		return g
+	}
+	return -300
+}
+
+func quietPhy() phy.Config {
+	cfg := phy.DefaultConfig()
+	cfg.Fade = capacity.FadeModel{}
+	return cfg
+}
+
+var rate6 = capacity.Table80211a[0]
+var rate24 = capacity.Table80211a[4]
+
+// harness bundles a small simulation.
+type harness struct {
+	s      *sim.Simulator
+	medium *phy.Medium
+	src    *rng.Source
+}
+
+func newHarness(ch phy.Channel, cfg phy.Config, seed uint64) *harness {
+	src := rng.New(seed)
+	s := sim.New()
+	return &harness{s: s, medium: phy.NewMedium(s, ch, cfg, src.Split()), src: src}
+}
+
+func (h *harness) station(id phy.NodeID, cfg Config, rates RateSelector) *Station {
+	return NewStation(h.s, h.medium.AddRadio(id, 15), cfg, h.src.Split(), rates)
+}
+
+func countData(st *Station, from phy.NodeID) *uint64 {
+	var n uint64
+	st.OnData = func(res phy.RxResult) {
+		if res.Frame.Src == from {
+			n++
+		}
+	}
+	return &n
+}
+
+func TestSingleStationSaturatedThroughput(t *testing.T) {
+	ch := matrixChannel{}
+	ch.set(0, 1, -80) // 30 dB SNR
+	h := newHarness(ch, quietPhy(), 1)
+	tx := h.station(0, DefaultConfig(), FixedRate{Rate: rate6})
+	rx := h.station(1, DefaultConfig(), nil)
+	got := countData(rx, 0)
+	tx.StartSaturated(phy.Broadcast, 1400)
+	h.s.Run(2 * sim.Second)
+	// Frame time 1892 µs + DIFS 34 + mean backoff 7.5·9 = 67.5 →
+	// ~1993 µs/frame → ~502 frames/s.
+	rate := float64(*got) / 2
+	if rate < 470 || rate < 400 || rate > 530 {
+		t.Errorf("saturated 6M throughput = %v pkt/s, want ~500", rate)
+	}
+	if tx.Stats.DataSent < uint64(rate*2)-2 {
+		t.Errorf("sender stats inconsistent: sent %d, delivered %v", tx.Stats.DataSent, *got)
+	}
+}
+
+func TestTwoStationsShareFairly(t *testing.T) {
+	// Both senders in carrier sense range: DCF splits the channel and
+	// the total matches the single-sender rate (no collisions beyond
+	// slot ties).
+	ch := matrixChannel{}
+	ch.set(0, 1, -80)
+	ch.set(2, 3, -80)
+	ch.set(0, 2, -70) // strong mutual sensing
+	ch.set(0, 3, -90)
+	ch.set(2, 1, -90)
+	h := newHarness(ch, quietPhy(), 2)
+	cfg := DefaultConfig()
+	s0 := h.station(0, cfg, FixedRate{Rate: rate6})
+	rx1 := h.station(1, cfg, nil)
+	s2 := h.station(2, cfg, FixedRate{Rate: rate6})
+	rx3 := h.station(3, cfg, nil)
+	got1 := countData(rx1, 0)
+	got3 := countData(rx3, 2)
+	s0.StartSaturated(phy.Broadcast, 1400)
+	s2.StartSaturated(phy.Broadcast, 1400)
+	h.s.Run(2 * sim.Second)
+	total := float64(*got1+*got3) / 2
+	if total < 400 || total > 530 {
+		t.Errorf("shared total = %v pkt/s, want ~480", total)
+	}
+	// Jain fairness of the two counts.
+	x, y := float64(*got1), float64(*got3)
+	jain := (x + y) * (x + y) / (2 * (x*x + y*y))
+	if jain < 0.95 {
+		t.Errorf("unfair split: %v vs %v (jain %v)", x, y, jain)
+	}
+	// Both stations spent time deferring.
+	if s0.Stats.DeferredNanos == 0 || s2.Stats.DeferredNanos == 0 {
+		t.Error("no deferral recorded under contention")
+	}
+}
+
+func TestCarrierSenseDisabledCollides(t *testing.T) {
+	// Same topology with receivers in the crossfire: disabling CS
+	// produces heavy collisions — both receivers hear both senders at
+	// comparable power.
+	ch := matrixChannel{}
+	ch.set(0, 1, -80)
+	ch.set(2, 3, -80)
+	ch.set(0, 2, -70)
+	ch.set(0, 3, -83)
+	ch.set(2, 1, -83)
+	mk := func(cs bool, seed uint64) float64 {
+		h := newHarness(ch, quietPhy(), seed)
+		cfg := DefaultConfig()
+		cfg.CarrierSense = cs
+		s0 := h.station(0, cfg, FixedRate{Rate: rate6})
+		rx1 := h.station(1, cfg, nil)
+		s2 := h.station(2, cfg, FixedRate{Rate: rate6})
+		rx3 := h.station(3, cfg, nil)
+		got1 := countData(rx1, 0)
+		got3 := countData(rx3, 2)
+		s0.StartSaturated(phy.Broadcast, 1400)
+		s2.StartSaturated(phy.Broadcast, 1400)
+		h.s.Run(2 * sim.Second)
+		return float64(*got1+*got3) / 2
+	}
+	withCS := mk(true, 3)
+	withoutCS := mk(false, 3)
+	if withoutCS > withCS/2 {
+		t.Errorf("CS off should collapse throughput: on=%v off=%v", withCS, withoutCS)
+	}
+}
+
+func TestUnicastAckAndRetries(t *testing.T) {
+	ch := matrixChannel{}
+	ch.set(0, 1, -80)
+	h := newHarness(ch, quietPhy(), 4)
+	cfg := DefaultConfig()
+	cfg.UseACK = true
+	tx := h.station(0, cfg, FixedRate{Rate: rate6})
+	h.station(1, cfg, nil)
+	delivered := 0
+	tx.OnDeliver = func(phy.Frame) { delivered++ }
+	tx.StartSaturated(1, 1400)
+	h.s.Run(1 * sim.Second)
+	if delivered == 0 {
+		t.Fatal("no unicast deliveries")
+	}
+	if tx.Stats.DataAcked != uint64(delivered) {
+		t.Errorf("acked %d != delivered %d", tx.Stats.DataAcked, delivered)
+	}
+	if tx.Stats.Drops > 0 {
+		t.Errorf("drops on a clean link: %d", tx.Stats.Drops)
+	}
+	// ACK overhead cuts goodput below broadcast but not catastrophically.
+	rate := float64(delivered)
+	if rate < 350 || rate > 520 {
+		t.Errorf("unicast rate = %v pkt/s", rate)
+	}
+}
+
+func TestRetryExhaustionDrops(t *testing.T) {
+	// Receiver out of range: every frame times out and eventually
+	// drops, with CW growth in between.
+	ch := matrixChannel{}
+	ch.set(0, 1, -130)
+	h := newHarness(ch, quietPhy(), 5)
+	cfg := DefaultConfig()
+	cfg.UseACK = true
+	tx := h.station(0, cfg, FixedRate{Rate: rate6})
+	h.station(1, cfg, nil)
+	tx.StartSaturated(1, 1400)
+	h.s.Run(1 * sim.Second)
+	if tx.Stats.Drops == 0 {
+		t.Error("no drops to an unreachable receiver")
+	}
+	if tx.Stats.AckTimeouts == 0 {
+		t.Error("no ACK timeouts recorded")
+	}
+	if tx.Stats.DataAcked != 0 {
+		t.Errorf("phantom ACKs: %d", tx.Stats.DataAcked)
+	}
+}
+
+func TestRTSAlwaysProtectsButCosts(t *testing.T) {
+	ch := matrixChannel{}
+	ch.set(0, 1, -80)
+	run := func(mode RTSMode) (float64, uint64) {
+		h := newHarness(ch, quietPhy(), 6)
+		cfg := DefaultConfig()
+		cfg.UseACK = true
+		cfg.RTS = mode
+		tx := h.station(0, cfg, FixedRate{Rate: rate24})
+		h.station(1, cfg, nil)
+		delivered := 0
+		tx.OnDeliver = func(phy.Frame) { delivered++ }
+		tx.StartSaturated(1, 1400)
+		h.s.Run(1 * sim.Second)
+		return float64(delivered), tx.Stats.RTSSent
+	}
+	plain, rtsPlain := run(RTSOff)
+	protected, rtsCount := run(RTSAlways)
+	if rtsPlain != 0 {
+		t.Errorf("RTSOff sent %d RTS frames", rtsPlain)
+	}
+	if rtsCount == 0 {
+		t.Error("RTSAlways sent no RTS")
+	}
+	// On a clean link, blanket RTS/CTS costs real throughput — the §5
+	// objection to MACAW-style protection.
+	if protected >= plain {
+		t.Errorf("RTS overhead invisible: plain %v, protected %v", plain, protected)
+	}
+	if protected < plain*0.5 {
+		t.Errorf("RTS overhead implausibly large: plain %v, protected %v", plain, protected)
+	}
+}
+
+func TestRTSAdaptiveStaysOffOnCleanLink(t *testing.T) {
+	ch := matrixChannel{}
+	ch.set(0, 1, -80)
+	h := newHarness(ch, quietPhy(), 7)
+	cfg := DefaultConfig()
+	cfg.UseACK = true
+	cfg.RTS = RTSAdaptive
+	tx := h.station(0, cfg, FixedRate{Rate: rate24})
+	h.station(1, cfg, nil)
+	tx.StartSaturated(1, 1400)
+	h.s.Run(1 * sim.Second)
+	if tx.Stats.RTSSent > 0 {
+		t.Errorf("adaptive RTS engaged on a clean link: %d", tx.Stats.RTSSent)
+	}
+}
+
+func TestRTSAdaptiveEngagesUnderHiddenInterference(t *testing.T) {
+	// Hidden interferer smothers the receiver; the sender sees high
+	// RSSI but massive loss — §5's trigger condition.
+	ch := matrixChannel{}
+	ch.set(0, 1, -80)  // good serving link
+	ch.set(2, 1, -78)  // interference above signal
+	ch.set(0, 2, -300) // hidden
+	ch.set(2, 3, -300)
+	h := newHarness(ch, quietPhy(), 8)
+	cfg := DefaultConfig()
+	cfg.UseACK = true
+	cfg.RTS = RTSAdaptive
+	tx := h.station(0, cfg, FixedRate{Rate: rate24})
+	h.station(1, cfg, nil)
+	// The interferer blasts without CS (it cannot hear anyone anyway).
+	icfg := DefaultConfig()
+	icfg.CarrierSense = false
+	interferer := h.station(2, icfg, FixedRate{Rate: rate6})
+	tx.StartSaturated(1, 1400)
+	interferer.StartSaturated(phy.Broadcast, 1400)
+	h.s.Run(2 * sim.Second)
+	if tx.Stats.RTSSent == 0 {
+		t.Error("adaptive RTS never engaged under hidden-terminal loss")
+	}
+}
+
+func TestNAVDefersThirdStation(t *testing.T) {
+	// Station 4 overhears an RTS addressed elsewhere and must defer
+	// for the advertised NAV even though the data exchange itself is
+	// below its CCA threshold.
+	ch := matrixChannel{}
+	ch.set(0, 1, -80)
+	ch.set(0, 4, -85) // overhears the RTS
+	ch.set(1, 4, -85)
+	ch.set(4, 5, -80)
+	h := newHarness(ch, quietPhy(), 9)
+	cfg := DefaultConfig()
+	cfg.UseACK = true
+	cfg.RTS = RTSAlways
+	tx := h.station(0, cfg, FixedRate{Rate: rate6})
+	h.station(1, cfg, nil)
+	bystander := h.station(4, DefaultConfig(), FixedRate{Rate: rate6})
+	h.station(5, DefaultConfig(), nil)
+	tx.StartSaturated(1, 1400)
+	bystander.StartSaturated(phy.Broadcast, 1400)
+	h.s.Run(1 * sim.Second)
+	if bystander.Stats.NAVNanos == 0 {
+		t.Error("bystander never honored a NAV")
+	}
+}
+
+func TestStopTraffic(t *testing.T) {
+	ch := matrixChannel{}
+	ch.set(0, 1, -80)
+	h := newHarness(ch, quietPhy(), 10)
+	tx := h.station(0, DefaultConfig(), FixedRate{Rate: rate6})
+	rx := h.station(1, DefaultConfig(), nil)
+	got := countData(rx, 0)
+	tx.StartSaturated(phy.Broadcast, 1400)
+	h.s.Run(500 * sim.Millisecond)
+	tx.StopTraffic()
+	atStop := *got
+	h.s.Run(1 * sim.Second)
+	if *got > atStop+2 {
+		t.Errorf("traffic continued after stop: %d -> %d", atStop, *got)
+	}
+}
+
+func TestDescribeAndModeStrings(t *testing.T) {
+	ch := matrixChannel{}
+	h := newHarness(ch, quietPhy(), 11)
+	st := h.station(0, DefaultConfig(), nil)
+	if st.Describe() == "" {
+		t.Error("empty describe")
+	}
+	if RTSOff.String() != "off" || RTSAlways.String() != "always" ||
+		RTSAdaptive.String() != "adaptive" || RTSMode(9).String() != "?" {
+		t.Error("RTS mode names")
+	}
+}
+
+func TestSlotCollisions(t *testing.T) {
+	// Two saturated stations with a tiny CW collide on identical slot
+	// choices — the "slot collision" pathology of §5. With CWMin = 0
+	// every post-frame backoff picks slot 0 and the two stations,
+	// synchronized by the previous frame's end, collide repeatedly.
+	ch := matrixChannel{}
+	ch.set(0, 1, -80)
+	ch.set(2, 3, -80)
+	ch.set(0, 2, -70)
+	ch.set(0, 3, -80)
+	ch.set(2, 1, -80)
+	run := func(cwMin int) float64 {
+		h := newHarness(ch, quietPhy(), 12)
+		cfg := DefaultConfig()
+		cfg.CWMin = cwMin
+		s0 := h.station(0, cfg, FixedRate{Rate: rate6})
+		rx1 := h.station(1, cfg, nil)
+		s2 := h.station(2, cfg, FixedRate{Rate: rate6})
+		rx3 := h.station(3, cfg, nil)
+		got1 := countData(rx1, 0)
+		got3 := countData(rx3, 2)
+		s0.StartSaturated(phy.Broadcast, 1400)
+		s2.StartSaturated(phy.Broadcast, 1400)
+		h.s.Run(1 * sim.Second)
+		return float64(*got1 + *got3)
+	}
+	healthy := run(15)
+	degenerate := run(0)
+	if degenerate > healthy*0.5 {
+		t.Errorf("CWMin=0 should collapse via slot collisions: %v vs %v", degenerate, healthy)
+	}
+}
+
+func TestJainHelper(t *testing.T) {
+	// Sanity for the fairness arithmetic used in tests above.
+	x, y := 100.0, 100.0
+	jain := (x + y) * (x + y) / (2 * (x*x + y*y))
+	if math.Abs(jain-1) > 1e-12 {
+		t.Errorf("jain of equal shares = %v", jain)
+	}
+}

@@ -1,0 +1,195 @@
+// Package montecarlo provides the parallel Monte Carlo estimation
+// machinery behind the model's expected-throughput integrals. The
+// paper computed ⟨C_i⟩(R_max, D) "in Maple with Monte Carlo
+// integration" (§3.2.5); this package is our equivalent, with
+// deterministic per-worker random streams, standard-error tracking,
+// and optional convergence to a target relative error.
+package montecarlo
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"carriersense/internal/rng"
+)
+
+// Estimate is the result of a Monte Carlo mean estimation.
+type Estimate struct {
+	Mean   float64 // sample mean
+	StdErr float64 // standard error of the mean
+	N      int     // number of samples
+}
+
+// RelErr returns the relative standard error |StdErr/Mean|, or +Inf
+// when the mean is zero.
+func (e Estimate) RelErr() float64 {
+	if e.Mean == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(e.StdErr / e.Mean)
+}
+
+// accumulator tracks running mean and M2 (Welford).
+type accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+func (a *accumulator) add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+func (a *accumulator) merge(b accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.mean += d * float64(b.n) / float64(n)
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.n = n
+}
+
+func (a *accumulator) estimate() Estimate {
+	e := Estimate{Mean: a.mean, N: a.n}
+	if a.n > 1 {
+		variance := a.m2 / float64(a.n-1)
+		e.StdErr = math.Sqrt(variance / float64(a.n))
+	}
+	return e
+}
+
+// Mean estimates E[f] over n samples using parallel workers. Each
+// worker receives an independent deterministic substream split from a
+// Source seeded with seed, so results are reproducible for a fixed
+// (seed, n, GOMAXPROCS-independent) — the worker count affects only
+// scheduling, not the sample set, because streams are split up front
+// and sample counts are fixed per worker.
+func Mean(seed uint64, n int, f func(*rng.Source) float64) Estimate {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	root := rng.New(seed)
+	srcs := make([]*rng.Source, workers)
+	for i := range srcs {
+		srcs[i] = root.Split()
+	}
+	accs := make([]accumulator, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			src := srcs[w]
+			acc := &accs[w]
+			for i := 0; i < count; i++ {
+				acc.add(f(src))
+			}
+		}(w, hi-lo)
+	}
+	wg.Wait()
+	var total accumulator
+	for _, a := range accs {
+		total.merge(a)
+	}
+	return total.estimate()
+}
+
+// MeanVec estimates the means of a vector-valued integrand: f fills
+// out with one sample per component. All components share the same
+// random configuration draw, which is exactly what comparing MAC
+// policies on identical configurations requires (common random
+// numbers — variance of *differences* shrinks dramatically).
+func MeanVec(seed uint64, n, dim int, f func(*rng.Source, []float64)) []Estimate {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	root := rng.New(seed)
+	srcs := make([]*rng.Source, workers)
+	for i := range srcs {
+		srcs[i] = root.Split()
+	}
+	accs := make([][]accumulator, workers)
+	for i := range accs {
+		accs[i] = make([]accumulator, dim)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			src := srcs[w]
+			out := make([]float64, dim)
+			for i := 0; i < count; i++ {
+				// Zero the vector so integrands may leave components
+				// unset (e.g. indicator variables set only when true).
+				for j := range out {
+					out[j] = 0
+				}
+				f(src, out)
+				for j, v := range out {
+					accs[w][j].add(v)
+				}
+			}
+		}(w, hi-lo)
+	}
+	wg.Wait()
+	result := make([]Estimate, dim)
+	for j := 0; j < dim; j++ {
+		var total accumulator
+		for w := 0; w < workers; w++ {
+			total.merge(accs[w][j])
+		}
+		result[j] = total.estimate()
+	}
+	return result
+}
+
+// MeanToRelErr estimates E[f], growing the sample count geometrically
+// (starting at n0, capped at nMax) until the relative standard error
+// of the mean drops below relErr.
+func MeanToRelErr(seed uint64, n0, nMax int, relErr float64, f func(*rng.Source) float64) Estimate {
+	n := n0
+	var est Estimate
+	for {
+		est = Mean(seed, n, f)
+		if est.RelErr() <= relErr || n >= nMax {
+			return est
+		}
+		n *= 4
+		if n > nMax {
+			n = nMax
+		}
+	}
+}
+
+// Fraction estimates P[pred] over n samples.
+func Fraction(seed uint64, n int, pred func(*rng.Source) bool) Estimate {
+	return Mean(seed, n, func(src *rng.Source) float64 {
+		if pred(src) {
+			return 1
+		}
+		return 0
+	})
+}

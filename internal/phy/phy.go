@@ -1,0 +1,543 @@
+// Package phy models the physical layer of the packet simulator: a
+// shared wireless medium with cumulative interference, per-radio
+// clear-channel assessment (CCA), preamble detection and capture, and
+// frame error evaluation from piecewise SINR.
+//
+// Fidelity choices follow §4 of the paper:
+//
+//   - No receive abort: once a radio locks onto a preamble it stays
+//     locked until that frame ends, even if a stronger frame arrives —
+//     the paper notes its hardware ran this way and credits it with
+//     some of the concurrency crashes in the long-range data.
+//   - Frame errors accumulate per interference segment: each interval
+//     of constant interference contributes independent per-byte
+//     survival at its own SINR, so a brief strong collision damages a
+//     frame roughly in proportion to the bytes it overlaps.
+//   - CCA is energy detection against a per-radio threshold, plus
+//     (optionally) preamble carrier sense while locked on a frame.
+//     Per-radio thresholds support the "threshold asymmetry" pathology
+//     of §5.
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"carriersense/internal/capacity"
+	"carriersense/internal/rng"
+	"carriersense/internal/sim"
+)
+
+// NodeID identifies a radio on the medium.
+type NodeID int
+
+// Broadcast is the destination for broadcast frames (the paper's
+// experiments used broadcast packets).
+const Broadcast NodeID = -1
+
+// Channel supplies pairwise link gains in dB (negative = loss). The
+// testbed package provides realizations with path loss, shadowing and
+// floor attenuation baked in. Implementations must be symmetric unless
+// deliberately modeling asymmetric hardware.
+type Channel interface {
+	GainDB(from, to NodeID) float64
+}
+
+// OutageChannel is an optional extension of Channel supplying per-link
+// deep-fade probabilities that override Config.Fade.OutageProb. The
+// testbed implements it: burst losses are a property of a particular
+// path (its delay spread, its exposure to ambient traffic), not of the
+// radio.
+type OutageChannel interface {
+	Channel
+	OutageProbability(from, to NodeID) float64
+}
+
+// Config holds medium-wide PHY parameters. Zero value is unusable; use
+// DefaultConfig.
+type Config struct {
+	// NoiseFloorDBm is the thermal noise floor (paper: ≈ -95 dBm).
+	NoiseFloorDBm float64
+	// CCAThresholdDBm is the default energy-detection busy threshold.
+	CCAThresholdDBm float64
+	// PreambleSensitivityDBm is the minimum RSSI at which a preamble
+	// can be detected and locked.
+	PreambleSensitivityDBm float64
+	// PreambleCaptureSINRdB is the minimum SINR at frame start for a
+	// radio to acquire the preamble.
+	PreambleCaptureSINRdB float64
+	// PreambleCarrierSense makes CCA report busy while a radio is
+	// locked on a reception, regardless of energy level (the
+	// preamble-based carrier sense common hardware layers on top of
+	// energy detection).
+	PreambleCarrierSense bool
+	// PLCPOverhead is the preamble + signal field duration prepended
+	// to every frame (20 µs for 802.11a).
+	PLCPOverhead sim.Time
+	// SymbolDuration is the OFDM symbol time (4 µs for 802.11a).
+	SymbolDuration sim.Time
+	// TxTurnaround is the delay between a MAC's decision to transmit
+	// and energy actually appearing on the air (RX/TX switch plus
+	// propagation). Two stations deciding within this window cannot
+	// see each other and collide — the vulnerability window behind
+	// the "slot collision" pathology of §5. Zero makes carrier sense
+	// unphysically instantaneous.
+	TxTurnaround sim.Time
+	// Fade is the per-frame, per-link residual fading model: the
+	// appendix argues wideband channels reduce multipath fading "to
+	// the equivalent of a few dB variation" plus occasional deep
+	// frequency-selective fades, and §4.1 invokes time variation of
+	// the channel to explain carrier sense occasionally beating pure
+	// concurrency. Each (transmission, receiver) pair draws one dB
+	// offset for the frame's lifetime.
+	Fade capacity.FadeModel
+}
+
+// DefaultConfig returns 802.11a-mode parameters matching the paper's
+// testbed conventions.
+func DefaultConfig() Config {
+	return Config{
+		NoiseFloorDBm:          -95,
+		CCAThresholdDBm:        -82,
+		PreambleSensitivityDBm: -92,
+		PreambleCaptureSINRdB:  4,
+		PreambleCarrierSense:   true,
+		PLCPOverhead:           20 * sim.Microsecond,
+		SymbolDuration:         4 * sim.Microsecond,
+		TxTurnaround:           1 * sim.Microsecond,
+		Fade:                   capacity.DefaultFade(),
+	}
+}
+
+// DSSSPreamble is the 802.11b long preamble + PLCP header airtime.
+const DSSSPreamble = 192 * sim.Microsecond
+
+// FrameDuration returns the airtime of a frame of the given length at
+// the given rate. OFDM rates pay the PLCP overhead plus whole 4 µs
+// symbols (16 service bits + 6 tail bits per 802.11a); DSSS rates pay
+// the 192 µs long preamble plus the payload bit-serially at the
+// nominal rate.
+func (c Config) FrameDuration(bytes int, rate capacity.Rate) sim.Time {
+	if rate.Modulation == capacity.DSSS {
+		payloadMicros := float64(8*bytes) / rate.Mbps
+		return DSSSPreamble + sim.FromMicros(payloadMicros)
+	}
+	bits := 16 + 8*bytes + 6
+	symbols := (bits + rate.BitsPerSymbol - 1) / rate.BitsPerSymbol
+	return c.PLCPOverhead + sim.Time(symbols)*c.SymbolDuration
+}
+
+// FrameKind distinguishes MAC frame types on the air.
+type FrameKind int
+
+// Frame kinds.
+const (
+	FrameData FrameKind = iota
+	FrameACK
+	FrameRTS
+	FrameCTS
+)
+
+// String returns the frame kind mnemonic.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameData:
+		return "DATA"
+	case FrameACK:
+		return "ACK"
+	case FrameRTS:
+		return "RTS"
+	case FrameCTS:
+		return "CTS"
+	default:
+		return "?"
+	}
+}
+
+// Frame is one MAC frame on the air.
+type Frame struct {
+	Seq   uint64
+	Src   NodeID
+	Dst   NodeID // Broadcast or a specific node
+	Kind  FrameKind
+	Bytes int
+	Rate  capacity.Rate
+	// NAV is the network allocation vector carried by RTS/CTS frames:
+	// how long overhearers should treat the medium as reserved after
+	// this frame ends.
+	NAV sim.Time
+}
+
+// transmission is a frame in flight.
+type transmission struct {
+	frame      Frame
+	start, end sim.Time
+	txPowerDBm float64
+	// fadeDB caches the per-receiver fading draw for this frame so
+	// every power query during the frame's lifetime sees one
+	// consistent channel state.
+	fadeDB map[NodeID]float64
+}
+
+// RxResult reports a completed reception attempt to a listener.
+type RxResult struct {
+	Frame    Frame
+	OK       bool    // frame decoded successfully
+	SINRdB   float64 // time-averaged SINR over the locked reception
+	RSSIdBm  float64 // received signal strength of the frame
+	Survival float64 // modeled survival probability the success draw used
+}
+
+// reception tracks a radio locked onto a frame.
+type reception struct {
+	tx        *transmission
+	signalMw  float64 // received signal power, linear mW
+	survival  float64 // accumulated survival probability
+	segStart  sim.Time
+	interfMw  float64 // current other-transmission power at the radio
+	weightedI float64 // time-integral of interference power (mW·ns)
+}
+
+// Radio is one node's PHY. Create via Medium.AddRadio.
+type Radio struct {
+	id         NodeID
+	medium     *Medium
+	txPowerDBm float64
+
+	// ccaOffsetDB shifts this radio's CCA threshold from the medium
+	// default (threshold asymmetry pathology).
+	ccaOffsetDB float64
+	// noiseOffsetDB shifts this radio's noise floor from the medium
+	// default (hardware noise floor variation, footnote 20).
+	noiseOffsetDB float64
+
+	transmitting *transmission
+	rx           *reception
+	ccaBusy      bool
+
+	// OnCCA, when non-nil, is called on every CCA busy/idle
+	// transition. The MAC uses it to freeze and resume backoff.
+	OnCCA func(busy bool)
+	// OnRx, when non-nil, is called when a locked reception completes
+	// (successfully or not).
+	OnRx func(RxResult)
+	// OnTxDone, when non-nil, is called when this radio's own
+	// transmission leaves the air.
+	OnTxDone func(Frame)
+}
+
+// ID returns the radio's node ID.
+func (r *Radio) ID() NodeID { return r.id }
+
+// SetCCAOffsetDB shifts this radio's CCA threshold relative to the
+// medium default (positive = less sensitive, defers less).
+func (r *Radio) SetCCAOffsetDB(db float64) { r.ccaOffsetDB = db }
+
+// SetNoiseOffsetDB shifts this radio's noise floor.
+func (r *Radio) SetNoiseOffsetDB(db float64) { r.noiseOffsetDB = db }
+
+// TxPowerDBm returns the radio's transmit power.
+func (r *Radio) TxPowerDBm() float64 { return r.txPowerDBm }
+
+// Transmitting reports whether the radio is currently on the air.
+func (r *Radio) Transmitting() bool { return r.transmitting != nil }
+
+// Receiving reports whether the radio is locked on a frame.
+func (r *Radio) Receiving() bool { return r.rx != nil }
+
+// Medium is the shared wireless channel: it tracks all in-flight
+// transmissions, computes per-radio power sums, and drives every
+// radio's CCA and reception state.
+type Medium struct {
+	sim    *sim.Simulator
+	ch     Channel
+	cfg    Config
+	src    *rng.Source
+	radios map[NodeID]*Radio
+	// ordered keeps radios in registration order: all medium-wide
+	// iteration uses it so that callback order — and therefore every
+	// simulation — is deterministic (Go map order is randomized).
+	ordered []*Radio
+	active  map[*transmission]struct{}
+	seq     uint64
+}
+
+// NewMedium creates a medium over the given channel realization.
+func NewMedium(s *sim.Simulator, ch Channel, cfg Config, src *rng.Source) *Medium {
+	return &Medium{
+		sim:    s,
+		ch:     ch,
+		cfg:    cfg,
+		src:    src,
+		radios: make(map[NodeID]*Radio),
+		active: make(map[*transmission]struct{}),
+	}
+}
+
+// Config returns the medium's PHY configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Sim returns the simulator driving this medium.
+func (m *Medium) Sim() *sim.Simulator { return m.sim }
+
+// AddRadio registers a radio with the given ID and transmit power.
+func (m *Medium) AddRadio(id NodeID, txPowerDBm float64) *Radio {
+	if _, dup := m.radios[id]; dup {
+		panic(fmt.Sprintf("phy: duplicate radio %d", id))
+	}
+	r := &Radio{id: id, medium: m, txPowerDBm: txPowerDBm}
+	m.radios[id] = r
+	m.ordered = append(m.ordered, r)
+	return r
+}
+
+// Radio returns the radio with the given ID, or nil.
+func (m *Medium) Radio(id NodeID) *Radio { return m.radios[id] }
+
+// rxPowerMw returns the linear received power (mW) of tx at radio r,
+// including the frame's per-link fading draw.
+func (m *Medium) rxPowerMw(tx *transmission, r *Radio) float64 {
+	gain := m.ch.GainDB(tx.frame.Src, r.id)
+	if !m.cfg.Fade.Zero() {
+		fade, ok := tx.fadeDB[r.id]
+		if !ok {
+			fade = m.src.Normal(0, m.cfg.Fade.SigmaDB)
+			p := m.cfg.Fade.OutageProb
+			if oc, ok := m.ch.(OutageChannel); ok {
+				p = oc.OutageProbability(tx.frame.Src, r.id)
+			}
+			if p > 0 && m.src.Float64() < p {
+				fade -= m.cfg.Fade.OutageDepthDB
+			}
+			tx.fadeDB[r.id] = fade
+		}
+		gain += fade
+	}
+	return math.Pow(10, (tx.txPowerDBm+gain)/10)
+}
+
+// interferenceMwAt returns the total power (mW) of all active
+// transmissions at radio r, excluding any transmission in skip and
+// excluding r's own transmission.
+func (m *Medium) interferenceMwAt(r *Radio, skip *transmission) float64 {
+	total := 0.0
+	for tx := range m.active {
+		if tx == skip || tx.frame.Src == r.id {
+			continue
+		}
+		total += m.rxPowerMw(tx, r)
+	}
+	return total
+}
+
+// noiseMwAt returns radio r's noise floor in mW.
+func (m *Medium) noiseMwAt(r *Radio) float64 {
+	return math.Pow(10, (m.cfg.NoiseFloorDBm+r.noiseOffsetDB)/10)
+}
+
+// CCABusy reports the instantaneous clear channel assessment at radio
+// r: busy while transmitting, while locked on a preamble (if preamble
+// carrier sense is enabled), or while total received energy exceeds
+// the radio's threshold.
+func (m *Medium) CCABusy(r *Radio) bool {
+	if r.transmitting != nil {
+		return true
+	}
+	if m.cfg.PreambleCarrierSense && r.rx != nil {
+		return true
+	}
+	power := m.interferenceMwAt(r, nil)
+	threshold := math.Pow(10, (m.cfg.CCAThresholdDBm+r.ccaOffsetDB)/10)
+	return power > threshold
+}
+
+// CCABusy reports the radio's current clear channel assessment.
+func (r *Radio) CCABusy() bool { return r.medium.CCABusy(r) }
+
+// MediumConfig returns the PHY configuration of the medium the radio
+// is attached to.
+func (r *Radio) MediumConfig() Config { return r.medium.cfg }
+
+// RSSIFromDBm returns the long-run received signal strength at this
+// radio for transmissions from the given node.
+func (r *Radio) RSSIFromDBm(from NodeID) float64 {
+	return r.medium.RSSIdBm(from, r.id)
+}
+
+// RSSIdBm returns the long-run received signal strength at radio to
+// from radio from: transmit power plus channel gain. This is the
+// "sender-sender RSSI" metric of Figures 11 and 13.
+func (m *Medium) RSSIdBm(from, to NodeID) float64 {
+	f := m.radios[from]
+	return f.txPowerDBm + m.ch.GainDB(from, to)
+}
+
+// Transmit commits radio r to sending a frame. Energy appears on the
+// air after the configured TxTurnaround — once committed, the radio
+// cannot abort, so two stations deciding within the turnaround window
+// collide without ever sensing each other. It returns the transmission
+// end time.
+func (r *Radio) Transmit(frame Frame) sim.Time {
+	m := r.medium
+	if r.transmitting != nil {
+		panic(fmt.Sprintf("phy: radio %d already transmitting", r.id))
+	}
+	frame.Src = r.id
+	m.seq++
+	frame.Seq = m.seq
+	dur := m.cfg.FrameDuration(frame.Bytes, frame.Rate)
+	airStart := m.sim.Now() + m.cfg.TxTurnaround
+	tx := &transmission{
+		frame:      frame,
+		start:      airStart,
+		end:        airStart + dur,
+		txPowerDBm: r.txPowerDBm,
+		fadeDB:     make(map[NodeID]float64),
+	}
+	// A radio that commits to transmitting abandons any reception in
+	// progress (half-duplex).
+	if r.rx != nil {
+		r.rx = nil
+	}
+	r.transmitting = tx
+	goLive := func() {
+		m.active[tx] = struct{}{}
+		m.onAirChange(tx, true)
+	}
+	if m.cfg.TxTurnaround > 0 {
+		m.sim.At(airStart, goLive)
+	} else {
+		goLive()
+	}
+	m.sim.At(tx.end, func() { m.endTransmission(tx) })
+	return tx.end
+}
+
+// endTransmission removes tx from the air and resolves receptions.
+func (m *Medium) endTransmission(tx *transmission) {
+	delete(m.active, tx)
+	sender := m.radios[tx.frame.Src]
+	sender.transmitting = nil
+	m.onAirChange(tx, false)
+	if sender.OnTxDone != nil {
+		sender.OnTxDone(tx.frame)
+	}
+	// Resolve every radio locked on this transmission.
+	for _, r := range m.ordered {
+		if r.rx != nil && r.rx.tx == tx {
+			m.finishReception(r)
+		}
+	}
+	// Senders' CCA may have changed by their own TX ending.
+	m.refreshCCA()
+}
+
+// onAirChange updates every radio's reception segments and attempts
+// preamble locks when a transmission starts.
+func (m *Medium) onAirChange(tx *transmission, started bool) {
+	now := m.sim.Now()
+	for _, r := range m.ordered {
+		if r.rx != nil && r.rx.tx != tx {
+			// Close the current interference segment and open a new
+			// one reflecting the changed air.
+			m.closeSegment(r, now)
+			r.rx.interfMw = m.interferenceMwAt(r, r.rx.tx)
+		}
+	}
+	if started {
+		m.tryLock(tx)
+	}
+	m.refreshCCA()
+}
+
+// tryLock offers a newly started transmission to every idle radio.
+func (m *Medium) tryLock(tx *transmission) {
+	for _, r := range m.ordered {
+		if r.id == tx.frame.Src || r.transmitting != nil || r.rx != nil {
+			// Busy radios miss the preamble entirely: the origin of
+			// the "chain collision" pathology (§5) — a node
+			// transmitting over a preamble cannot defer to it.
+			continue
+		}
+		sig := m.rxPowerMw(tx, r)
+		sigDBm := 10 * math.Log10(sig)
+		if sigDBm < m.cfg.PreambleSensitivityDBm {
+			continue
+		}
+		interf := m.interferenceMwAt(r, tx)
+		sinr := sig / (m.noiseMwAt(r) + interf)
+		if 10*math.Log10(sinr) < m.cfg.PreambleCaptureSINRdB {
+			continue
+		}
+		r.rx = &reception{
+			tx:       tx,
+			signalMw: sig,
+			survival: 1,
+			segStart: m.sim.Now(),
+			interfMw: interf,
+		}
+	}
+}
+
+// closeSegment folds the interference segment [rx.segStart, now) into
+// the reception's survival probability.
+func (m *Medium) closeSegment(r *Radio, now sim.Time) {
+	rx := r.rx
+	if rx == nil || now <= rx.segStart {
+		return
+	}
+	segDur := now - rx.segStart
+	sinr := rx.signalMw / (m.noiseMwAt(r) + rx.interfMw)
+	sinrDB := 10 * math.Log10(sinr)
+	// Fraction of the frame's airtime this segment covers; per-byte
+	// survival at this SINR raised to the bytes in the segment.
+	frameDur := rx.tx.end - rx.tx.start
+	frac := float64(segDur) / float64(frameDur)
+	per := capacity.PER(rx.tx.frame.Rate, sinrDB, rx.tx.frame.Bytes)
+	rx.survival *= math.Pow(1-per, frac)
+	rx.weightedI += float64(segDur) * rx.interfMw
+	rx.segStart = now
+}
+
+// finishReception resolves a completed reception on radio r.
+func (m *Medium) finishReception(r *Radio) {
+	rx := r.rx
+	m.closeSegment(r, m.sim.Now())
+	r.rx = nil
+	frameDur := float64(rx.tx.end - rx.tx.start)
+	avgInterf := rx.weightedI / frameDur
+	sinr := rx.signalMw / (m.noiseMwAt(r) + avgInterf)
+	ok := m.src.Float64() < rx.survival
+	if r.OnRx != nil {
+		r.OnRx(RxResult{
+			Frame:    rx.tx.frame,
+			OK:       ok,
+			SINRdB:   10 * math.Log10(sinr),
+			RSSIdBm:  10 * math.Log10(rx.signalMw),
+			Survival: rx.survival,
+		})
+	}
+}
+
+// refreshCCA recomputes CCA for all radios and fires transitions.
+func (m *Medium) refreshCCA() {
+	for _, r := range m.ordered {
+		busy := m.CCABusy(r)
+		if busy != r.ccaBusy {
+			r.ccaBusy = busy
+			if r.OnCCA != nil {
+				r.OnCCA(busy)
+			}
+		}
+	}
+}
+
+// SINRdBBetween returns the SINR a frame from src would enjoy at dst
+// right now, given current interference — used by oracle tooling, not
+// by the protocol path.
+func (m *Medium) SINRdBBetween(src, dst NodeID) float64 {
+	from, to := m.radios[src], m.radios[dst]
+	sig := math.Pow(10, (from.txPowerDBm+m.ch.GainDB(src, dst))/10)
+	interf := m.interferenceMwAt(to, nil)
+	return 10 * math.Log10(sig/(m.noiseMwAt(to)+interf))
+}

@@ -1,0 +1,359 @@
+// Package plot renders the reproduction's figures as text: ASCII line
+// charts for the throughput-versus-D curves, scatter plots for the
+// testbed experiments, shaded heatmaps for the capacity landscapes,
+// plus CSV writers and aligned tables for machine-readable output.
+//
+// The goal is not publication graphics but faithful, inspectable
+// reproductions of each figure's *shape* directly in a terminal or a
+// CI log.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of a line chart or one point class of a
+// scatter plot.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker rune // marker used in ASCII rendering; 0 picks automatically
+}
+
+// defaultMarkers cycles when series don't specify one.
+var defaultMarkers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart is a collection of series with axis labels.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// FlipX reverses the x-axis (Figures 11 and 13 plot RSSI
+	// decreasing to the right).
+	FlipX bool
+	// VLines draws vertical reference lines at the given x values
+	// (e.g. the carrier sense threshold of Figure 5).
+	VLines []float64
+	// YMin/YMax fix the y range when non-nil.
+	YMin, YMax *float64
+}
+
+// Render draws the chart into an ASCII canvas of the given size
+// (interior plotting area; axes and legend are added around it).
+func (c *Chart) Render(w io.Writer, width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if !isFinite(s.X[i]) || !isFinite(s.Y[i]) {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	for _, v := range c.VLines {
+		xmin = math.Min(xmin, v)
+		xmax = math.Max(xmax, v)
+	}
+	if !isFinite(xmin) || !isFinite(xmax) {
+		fmt.Fprintf(w, "%s: no data\n", c.Title)
+		return
+	}
+	if c.YMin != nil {
+		ymin = *c.YMin
+	}
+	if c.YMax != nil {
+		ymax = *c.YMax
+	}
+	if ymin == ymax {
+		ymin, ymax = ymin-1, ymax+1
+	}
+	if xmin == xmax {
+		xmin, xmax = xmin-1, xmax+1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	xToCol := func(x float64) int {
+		f := (x - xmin) / (xmax - xmin)
+		if c.FlipX {
+			f = 1 - f
+		}
+		col := int(f * float64(width-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		return col
+	}
+	yToRow := func(y float64) int {
+		f := (y - ymin) / (ymax - ymin)
+		row := int((1 - f) * float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return row
+	}
+	for _, v := range c.VLines {
+		col := xToCol(v)
+		for row := 0; row < height; row++ {
+			grid[row][col] = '|'
+		}
+	}
+	for si, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			if !isFinite(s.X[i]) || !isFinite(s.Y[i]) {
+				continue
+			}
+			y := s.Y[i]
+			if y < ymin {
+				y = ymin
+			}
+			if y > ymax {
+				y = ymax
+			}
+			grid[yToRow(y)][xToCol(s.X[i])] = marker
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	yhi := fmt.Sprintf("%.3g", ymax)
+	ylo := fmt.Sprintf("%.3g", ymin)
+	labelW := len(yhi)
+	if len(ylo) > labelW {
+		labelW = len(ylo)
+	}
+	for row := 0; row < height; row++ {
+		label := strings.Repeat(" ", labelW)
+		switch row {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, yhi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelW, ylo)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(grid[row]))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	xlo, xhi := xmin, xmax
+	if c.FlipX {
+		xlo, xhi = xmax, xmin
+	}
+	leftLabel := fmt.Sprintf("%.3g", xlo)
+	rightLabel := fmt.Sprintf("%.3g", xhi)
+	pad := width - len(leftLabel) - len(rightLabel)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(w, "%s  %s%s%s\n", strings.Repeat(" ", labelW), leftLabel, strings.Repeat(" ", pad), rightLabel)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "%s  x: %s   y: %s\n", strings.Repeat(" ", labelW), c.XLabel, c.YLabel)
+	}
+	legend := make([]string, 0, len(c.Series))
+	for si, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", marker, s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(w, "%s  legend: %s\n", strings.Repeat(" ", labelW), strings.Join(legend, "   "))
+	}
+}
+
+// WriteCSV emits the chart's series as CSV with one x column per
+// series pair (x_name, y_name), suitable for external replotting.
+func (c *Chart) WriteCSV(w io.Writer) error {
+	cols := make([]string, 0, 2*len(c.Series))
+	maxLen := 0
+	for _, s := range c.Series {
+		cols = append(cols, "x_"+sanitize(s.Name), "y_"+sanitize(s.Name))
+		if len(s.X) > maxLen {
+			maxLen = len(s.X)
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, len(cols))
+		for _, s := range c.Series {
+			if i < len(s.X) {
+				row = append(row, fmt.Sprintf("%g", s.X[i]), fmt.Sprintf("%g", s.Y[i]))
+			} else {
+				row = append(row, "", "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// Heatmap renders a matrix as shaded ASCII. Values are mapped linearly
+// onto the shade ramp; NaN cells render as spaces.
+type Heatmap struct {
+	Title  string
+	Values [][]float64
+	// Ramp is the shade characters from low to high; empty uses a
+	// default 10-step ramp.
+	Ramp []rune
+	// Overlay, when non-nil, is called per cell after shading and may
+	// return a replacement rune (0 keeps the shade) — used to mark the
+	// sender and interferer positions on landscape plots.
+	Overlay func(row, col int) rune
+}
+
+// defaultRamp is a 10-step density ramp.
+var defaultRamp = []rune(" .:-=+*#%@")
+
+// Render draws the heatmap, one character per cell.
+func (h *Heatmap) Render(w io.Writer) {
+	ramp := h.Ramp
+	if len(ramp) == 0 {
+		ramp = defaultRamp
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range h.Values {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if h.Title != "" {
+		fmt.Fprintf(w, "%s\n", h.Title)
+	}
+	if !isFinite(lo) {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	for ri, row := range h.Values {
+		var b strings.Builder
+		for ci, v := range row {
+			var r rune = ' '
+			if !math.IsNaN(v) {
+				idx := int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(ramp) {
+					idx = len(ramp) - 1
+				}
+				r = ramp[idx]
+			}
+			if h.Overlay != nil {
+				if o := h.Overlay(ri, ci); o != 0 {
+					r = o
+				}
+			}
+			b.WriteRune(r)
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	fmt.Fprintf(w, "scale: %s = %.3g .. %s = %.3g\n", string(ramp[0]), lo, string(ramp[len(ramp)-1]), hi)
+}
+
+// Table renders aligned text tables, used for the §3.2.5 efficiency
+// tables and the §4 summary tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render draws the table with column alignment.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// Percent formats a ratio as a percentage string like "96%".
+func Percent(x float64) string {
+	return fmt.Sprintf("%.0f%%", 100*x)
+}

@@ -1,0 +1,206 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := Chart{
+		Title:  "test chart",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}, Marker: 'L'},
+			{Name: "flat", X: []float64{0, 1, 2, 3}, Y: []float64{1.5, 1.5, 1.5, 1.5}, Marker: 'F'},
+		},
+		VLines: []float64{2},
+	}
+	var b strings.Builder
+	c.Render(&b, 40, 10)
+	out := b.String()
+	for _, want := range []string{"test chart", "L", "F", "|", "legend", "linear", "flat", "x: x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartRenderEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	var b strings.Builder
+	c.Render(&b, 40, 10) // must not panic
+	if !strings.Contains(b.String(), "no data") {
+		t.Errorf("empty chart output: %s", b.String())
+	}
+}
+
+func TestChartSkipsNonFinite(t *testing.T) {
+	c := Chart{
+		Series: []Series{{
+			Name: "s",
+			X:    []float64{0, 1, 2},
+			Y:    []float64{1, math.Inf(-1), math.NaN()},
+		}},
+	}
+	var b strings.Builder
+	c.Render(&b, 30, 8) // must not panic
+	if b.Len() == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestChartFlipX(t *testing.T) {
+	mk := func(flip bool) string {
+		c := Chart{
+			FlipX: flip,
+			Series: []Series{{
+				Name: "s", Marker: '#',
+				X: []float64{0, 10},
+				Y: []float64{0, 10},
+			}},
+		}
+		var b strings.Builder
+		c.Render(&b, 21, 5)
+		return b.String()
+	}
+	normal, flipped := mk(false), mk(true)
+	if normal == flipped {
+		t.Error("FlipX had no effect")
+	}
+	// The flipped x-axis labels run high to low.
+	if !strings.Contains(flipped, "10") {
+		t.Errorf("flipped output:\n%s", flipped)
+	}
+}
+
+func TestChartFixedYRange(t *testing.T) {
+	ymin, ymax := 0.0, 100.0
+	c := Chart{
+		YMin: &ymin, YMax: &ymax,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{5, 6}}},
+	}
+	var b strings.Builder
+	c.Render(&b, 30, 8)
+	if !strings.Contains(b.String(), "100") {
+		t.Errorf("fixed y max not honored:\n%s", b.String())
+	}
+}
+
+func TestChartCSV(t *testing.T) {
+	c := Chart{
+		Series: []Series{
+			{Name: "a b", X: []float64{1, 2}, Y: []float64{3, 4}},
+			{Name: "c", X: []float64{5}, Y: []float64{6}},
+		},
+	}
+	var b strings.Builder
+	if err := c.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d: %q", len(lines), b.String())
+	}
+	if lines[0] != "x_a_b,y_a_b,x_c,y_c" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,3,5,6" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2,4,," {
+		t.Errorf("row 2 = %q (short series must pad)", lines[2])
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := Heatmap{
+		Title: "map",
+		Values: [][]float64{
+			{0, 1, 2},
+			{3, 4, 5},
+		},
+	}
+	var b strings.Builder
+	h.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "map") || !strings.Contains(out, "scale:") {
+		t.Errorf("heatmap output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + 2 rows + scale
+		t.Errorf("heatmap lines = %d", len(lines))
+	}
+	// Low cell uses the first ramp rune, high cell the last.
+	if !strings.HasPrefix(lines[1], " ") {
+		t.Errorf("low cell shading: %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], "@") {
+		t.Errorf("high cell shading: %q", lines[2])
+	}
+}
+
+func TestHeatmapNaNAndOverlay(t *testing.T) {
+	h := Heatmap{
+		Values: [][]float64{{math.NaN(), 1}, {2, 3}},
+		Overlay: func(row, col int) rune {
+			if row == 0 && col == 0 {
+				return 'S'
+			}
+			return 0
+		},
+	}
+	var b strings.Builder
+	h.Render(&b)
+	if !strings.Contains(b.String(), "S") {
+		t.Errorf("overlay not applied:\n%s", b.String())
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	h := Heatmap{Values: [][]float64{{math.NaN()}}}
+	var b strings.Builder
+	h.Render(&b)
+	if !strings.Contains(b.String(), "no data") {
+		t.Errorf("empty heatmap: %s", b.String())
+	}
+}
+
+func TestHeatmapConstant(t *testing.T) {
+	h := Heatmap{Values: [][]float64{{5, 5}, {5, 5}}}
+	var b strings.Builder
+	h.Render(&b) // must not divide by zero
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "results",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", "3.5")
+	tbl.AddRow("a-much-longer-name", "10")
+	var b strings.Builder
+	tbl.Render(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: "value" column starts at the same offset in the
+	// header and data rows.
+	hdrIdx := strings.Index(lines[1], "value")
+	rowIdx := strings.Index(lines[3], "3.5")
+	if hdrIdx != rowIdx {
+		t.Errorf("misaligned columns: header %d, row %d\n%s", hdrIdx, rowIdx, out)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.961); got != "96%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(1); got != "100%" {
+		t.Errorf("Percent = %q", got)
+	}
+}

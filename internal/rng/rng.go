@@ -1,0 +1,193 @@
+// Package rng provides deterministic random variate generation for the
+// carrier sense model and the packet-level simulator.
+//
+// Every consumer of randomness in this repository takes an explicit
+// *rng.Source seeded by the caller, so that experiments are exactly
+// reproducible run to run and streams can be split per-node or
+// per-worker without contention.
+//
+// The distributions here are the ones the paper's propagation model
+// needs (§2 and the appendix): Gaussian (for dB-domain shadowing),
+// lognormal (linear-domain shadowing), Rayleigh and Rician (multipath
+// fading amplitude), and the exponential power fade that Rayleigh
+// amplitude induces.
+package rng
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Source is a deterministic random variate generator. It wraps a PCG
+// generator from math/rand/v2 and adds the distributions used by the
+// propagation and simulation packages.
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a Source seeded with the given 64-bit seed. Two Sources
+// with the same seed produce identical streams.
+func New(seed uint64) *Source {
+	return &Source{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Split derives a new independent Source from this one. The derived
+// stream is a deterministic function of the parent's state, so a fixed
+// sequence of Split calls is reproducible.
+func (s *Source) Split() *Source {
+	return &Source{r: rand.New(rand.NewPCG(s.r.Uint64(), s.r.Uint64()))}
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Uint64 returns a uniform 64-bit value.
+func (s *Source) Uint64() uint64 { return s.r.Uint64() }
+
+// IntN returns a uniform integer in [0, n).
+func (s *Source) IntN(n int) int { return s.r.IntN(n) }
+
+// Uniform returns a uniform variate in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Normal returns a Gaussian variate with the given mean and standard
+// deviation.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.r.NormFloat64()
+}
+
+// LognormalDB returns a linear power factor whose dB value is Gaussian
+// with zero mean and standard deviation sigmaDB. This is the paper's
+// lognormal shadowing variable L_sigma (§2): median 1, so distance
+// alone sets the median received power.
+func (s *Source) LognormalDB(sigmaDB float64) float64 {
+	if sigmaDB == 0 {
+		return 1
+	}
+	return math.Pow(10, s.Normal(0, sigmaDB)/10)
+}
+
+// Exp returns an exponential variate with the given mean. The power of
+// a Rayleigh-faded signal is exponentially distributed, so this is the
+// narrowband "fast fading" power factor with mean 1 when mean == 1.
+func (s *Source) Exp(mean float64) float64 {
+	return -mean * math.Log(1-s.r.Float64())
+}
+
+// Rayleigh returns a Rayleigh-distributed amplitude with scale sigma.
+// The appendix derives this as the amplitude of a zero-mean bivariate
+// Gaussian signal vector (no line of sight).
+func (s *Source) Rayleigh(sigma float64) float64 {
+	return sigma * math.Sqrt(-2*math.Log(1-s.r.Float64()))
+}
+
+// Rician returns a Rician-distributed amplitude with line-of-sight
+// (specular) amplitude v and diffuse scale sigma. The appendix derives
+// this as the amplitude of a bivariate Gaussian offset from the origin
+// (line of sight present). v = 0 reduces to Rayleigh.
+func (s *Source) Rician(v, sigma float64) float64 {
+	x := s.Normal(v, sigma)
+	y := s.Normal(0, sigma)
+	return math.Hypot(x, y)
+}
+
+// RicianPowerK returns a unit-mean linear power factor for Rician
+// fading with K-factor k (ratio of specular to diffuse power). k = 0
+// is Rayleigh (unit-mean exponential); large k approaches no fading.
+func (s *Source) RicianPowerK(k float64) float64 {
+	if k <= 0 {
+		return s.Exp(1)
+	}
+	// Total mean power v^2 + 2sigma^2 = 1 with K = v^2 / (2 sigma^2).
+	sigma := math.Sqrt(1 / (2 * (k + 1)))
+	v := math.Sqrt(k / (k + 1))
+	a := s.Rician(v, sigma)
+	return a * a
+}
+
+// WidebandFadePower returns a unit-mean power factor representing a
+// wideband channel that averages nsub independent Rayleigh subchannels.
+// The paper (§2, appendix) argues wideband modulations largely average
+// fading away, leaving "the equivalent of a few dB variation"; this
+// models that residual. nsub <= 1 degenerates to narrowband Rayleigh.
+func (s *Source) WidebandFadePower(nsub int) float64 {
+	if nsub <= 1 {
+		return s.Exp(1)
+	}
+	sum := 0.0
+	for i := 0; i < nsub; i++ {
+		sum += s.Exp(1)
+	}
+	return sum / float64(nsub)
+}
+
+// Shuffle randomly permutes the first n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	s.r.Shuffle(n, swap)
+}
+
+// NormalCDF returns the standard normal cumulative distribution
+// function Φ(x). It backs the closed-form shadowing probabilities in
+// §3.4 (e.g. the chance an interferer "appears beyond" the threshold).
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns Φ⁻¹(p) for p in (0, 1), using the
+// Beasley-Springer-Moro rational approximation refined by one
+// Newton step against NormalCDF. Accuracy is better than 1e-9 across
+// (1e-12, 1-1e-12), ample for threshold and starvation calculations.
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		switch {
+		case p == 0:
+			return math.Inf(-1)
+		case p == 1:
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	x := bsm(p)
+	// One Newton refinement: x -= (Φ(x)-p)/φ(x).
+	pdf := math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+	if pdf > 0 {
+		x -= (NormalCDF(x) - p) / pdf
+	}
+	return x
+}
+
+// bsm is the Beasley-Springer-Moro approximation to the standard
+// normal quantile.
+func bsm(p float64) float64 {
+	a := [4]float64{2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637}
+	b := [4]float64{-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833}
+	c := [9]float64{
+		0.3374754822726147, 0.9761690190917186, 0.1607979714918209,
+		0.0276438810333863, 0.0038405729373609, 0.0003951896511919,
+		0.0000321767881768, 0.0000002888167364, 0.0000003960315187,
+	}
+	y := p - 0.5
+	if math.Abs(y) < 0.42 {
+		r := y * y
+		num := y * (((a[3]*r+a[2])*r+a[1])*r + a[0])
+		den := (((b[3]*r+b[2])*r+b[1])*r+b[0])*r + 1
+		return num / den
+	}
+	r := p
+	if y > 0 {
+		r = 1 - p
+	}
+	r = math.Log(-math.Log(r))
+	x := c[0]
+	pow := 1.0
+	for i := 1; i < 9; i++ {
+		pow *= r
+		x += c[i] * pow
+	}
+	if y < 0 {
+		x = -x
+	}
+	return x
+}

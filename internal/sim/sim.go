@@ -1,0 +1,180 @@
+// Package sim is a small discrete-event simulation engine: a clock, a
+// priority queue of timed events, and deterministic FIFO ordering for
+// simultaneous events. The packet-level 802.11 reproduction of the
+// paper's testbed experiments (internal/phy, internal/mac) runs on it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a simulation timestamp in nanoseconds from simulation start.
+// Integer time makes event ordering exact; MAC-layer quantities (slots,
+// SIFS, DIFS) are whole microseconds so nanoseconds lose nothing.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns the time as float64 seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the time as float64 microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Duration converts to a time.Duration (both are nanoseconds).
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromSeconds converts float64 seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromMicros converts float64 microseconds to a Time.
+func FromMicros(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// Event is a scheduled callback. Events are one-shot; cancel via
+// Cancel before they fire.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index, -1 once removed
+	fn       func()
+	canceled bool
+}
+
+// Cancel prevents the event from firing. Safe to call after the event
+// has fired (it is then a no-op).
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+// Time returns the scheduled fire time.
+func (e *Event) Time() Time { return e.at }
+
+// eventQueue implements heap.Interface ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the clock and the event queue. It is not safe for
+// concurrent use; a simulation is a single-goroutine affair (parallel
+// experiments run independent Simulators).
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// New returns a Simulator at time zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() Time { return s.now }
+
+// EventsFired returns the number of events executed so far.
+func (s *Simulator) EventsFired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued (including
+// canceled ones not yet drained).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn at absolute time t, which must not be in the past.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn after delay d from now.
+func (s *Simulator) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Stop halts Run after the current event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events in timestamp order until the queue empties, the
+// clock passes until, or Stop is called. Events scheduled exactly at
+// until still run. It returns the final simulation time.
+func (s *Simulator) Run(until Time) Time {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		e := s.queue[0]
+		if e.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return s.now
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+func (s *Simulator) RunAll() Time {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+	}
+	return s.now
+}

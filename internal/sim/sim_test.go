@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(30*Microsecond, func() { order = append(order, 3) })
+	s.At(10*Microsecond, func() { order = append(order, 1) })
+	s.At(20*Microsecond, func() { order = append(order, 2) })
+	s.Run(Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*Microsecond, func() { order = append(order, i) })
+	}
+	s.Run(Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	s := New()
+	var at Time
+	s.After(42*Microsecond, func() { at = s.Now() })
+	s.Run(Second)
+	if at != 42*Microsecond {
+		t.Errorf("fired at %v", at)
+	}
+	if s.Now() != Second {
+		t.Errorf("clock = %v, want advanced to until", s.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var times []Time
+	s.After(10*Microsecond, func() {
+		times = append(times, s.Now())
+		s.After(5*Microsecond, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run(Second)
+	if len(times) != 2 || times[0] != 10*Microsecond || times[1] != 15*Microsecond {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.After(10*Microsecond, func() { fired = true })
+	e.Cancel()
+	if !e.Canceled() {
+		t.Error("Canceled() false after Cancel")
+	}
+	s.Run(Second)
+	if fired {
+		t.Error("canceled event fired")
+	}
+	e.Cancel() // idempotent, including after drain
+}
+
+func TestCancelNil(t *testing.T) {
+	var e *Event
+	e.Cancel() // must not panic
+	if e.Canceled() {
+		t.Error("nil event reports canceled")
+	}
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		s.At(d*Microsecond, func() { fired = append(fired, d) })
+	}
+	s.Run(25 * Microsecond)
+	if len(fired) != 2 {
+		t.Errorf("fired %v, want first two", fired)
+	}
+	// Events exactly at until still run.
+	s.Run(30 * Microsecond)
+	if len(fired) != 3 {
+		t.Errorf("fired %v after second run", fired)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i)*Microsecond, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run(Second)
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	s := New()
+	count := 0
+	s.After(10*Microsecond, func() {
+		count++
+		s.After(10*Microsecond, func() { count++ })
+	})
+	end := s.RunAll()
+	if count != 2 {
+		t.Errorf("count = %d", count)
+	}
+	if end != 20*Microsecond {
+		t.Errorf("end = %v", end)
+	}
+	if s.EventsFired() != 2 {
+		t.Errorf("events fired = %d", s.EventsFired())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.After(10*Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		s.At(5*Microsecond, func() {})
+	})
+	s.Run(Second)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if got := FromMicros(9).Micros(); got != 9 {
+		t.Errorf("micros round trip = %v", got)
+	}
+	if (3 * Microsecond).Duration().Microseconds() != 3 {
+		t.Error("Duration conversion")
+	}
+	f := func(raw int64) bool {
+		us := raw % 1_000_000_000
+		if us < 0 {
+			us = -us
+		}
+		return FromMicros(float64(us)).Micros() == float64(us)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	s := New()
+	e := s.At(77*Microsecond, func() {})
+	if e.Time() != 77*Microsecond {
+		t.Errorf("Time() = %v", e.Time())
+	}
+}

