@@ -26,12 +26,23 @@ import (
 	"carriersense/internal/testbed"
 )
 
+// benchScale selects the sampling effort: the full ScaleBench
+// reproduction by default, ScaleSmoke under `go test -short` so CI
+// can run every benchmark as a fast smoke lane
+// (`go test -short -run '^$' -bench . -benchtime 1x .`).
+func benchScale() experiments.Scale {
+	if testing.Short() {
+		return experiments.ScaleSmoke
+	}
+	return experiments.ScaleBench
+}
+
 // BenchmarkTable1Efficiency reproduces the §3.2.5 fixed-threshold
 // table (paper: 96 88 96 / 96 87 96 / 89 83 92 percent). Reported
 // metrics: mean and minimum efficiency over the grid.
 func BenchmarkTable1Efficiency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.Table1(experiments.DefaultTable1(), experiments.ScaleBench)
+		t := experiments.Table1(experiments.DefaultTable1(), benchScale())
 		sum, cnt := 0.0, 0
 		for _, row := range t.Cells {
 			for _, v := range row {
@@ -48,7 +59,7 @@ func BenchmarkTable1Efficiency(b *testing.B) {
 // table (paper thresholds 40/55/60).
 func BenchmarkTable2OptimizedThreshold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.Table2(experiments.DefaultTable1(), experiments.ScaleBench)
+		t := experiments.Table2(experiments.DefaultTable1(), benchScale())
 		b.ReportMetric(t.Thresholds[0], "dopt_rmax20")
 		b.ReportMetric(t.Thresholds[2], "dopt_rmax120")
 		b.ReportMetric(t.Min(), "min_eff")
@@ -96,7 +107,7 @@ func BenchmarkFigure4Curves(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var cross float64
 		for _, rmax := range []float64{20, 55, 120} {
-			res := experiments.Curves(experiments.DefaultCurves(rmax), experiments.ScaleBench)
+			res := experiments.Curves(experiments.DefaultCurves(rmax), benchScale())
 			cross = res.CrossoverD()
 		}
 		b.ReportMetric(cross, "crossover_rmax120")
@@ -108,7 +119,7 @@ func BenchmarkFigure4Curves(b *testing.B) {
 func BenchmarkFigure5CarrierSenseCurve(b *testing.B) {
 	p := experiments.DefaultCurves(55)
 	for i := 0; i < b.N; i++ {
-		res := experiments.Curves(p, experiments.ScaleBench)
+		res := experiments.Curves(p, benchScale())
 		// Gap between CS and optimal at the threshold (the visible
 		// compromise of Figure 5).
 		var gap float64
@@ -125,7 +136,7 @@ func BenchmarkFigure5CarrierSenseCurve(b *testing.B) {
 func BenchmarkFigure6Inefficiency(b *testing.B) {
 	p := experiments.DefaultCurves(55)
 	for i := 0; i < b.N; i++ {
-		res := experiments.InefficiencyDecomposition(p, experiments.ScaleBench)
+		res := experiments.InefficiencyDecomposition(p, benchScale())
 		b.ReportMetric(res.Ineff.HiddenTotal, "hidden_frac")
 		b.ReportMetric(res.Ineff.ExposedTotal, "exposed_frac")
 	}
@@ -141,7 +152,7 @@ func BenchmarkFigure7OptimalThreshold(b *testing.B) {
 		Seed:     1,
 	}
 	for i := 0; i < b.N; i++ {
-		res := experiments.Figure7(p, experiments.ScaleBench)
+		res := experiments.Figure7(p, benchScale())
 		pts := res.Curves[3]
 		b.ReportMetric(pts[0].DOptAlpha3, "dopt_small_rmax")
 		b.ReportMetric(pts[len(pts)-1].DOptAlpha3, "dopt_large_rmax")
@@ -156,7 +167,7 @@ func BenchmarkFigure9ShadowedCurves(b *testing.B) {
 		for _, rmax := range []float64{20, 55, 120} {
 			p := experiments.DefaultCurves(rmax)
 			p.SigmaDB = 8
-			res := experiments.Curves(p, experiments.ScaleBench)
+			res := experiments.Curves(p, benchScale())
 			for _, pt := range res.Points {
 				if math.Abs(pt.D-55) < 4 {
 					csAtThresh = pt.CS
@@ -170,7 +181,7 @@ func BenchmarkFigure9ShadowedCurves(b *testing.B) {
 // BenchmarkFigure10ShortRange runs the short-range testbed experiment
 // (paper: CS 97%, mux 58%, conc 89% of optimal).
 func BenchmarkFigure10ShortRange(b *testing.B) {
-	p := experiments.DefaultTestbed(experiments.ScaleBench)
+	p := experiments.DefaultTestbed(benchScale())
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunTestbed(p, testbed.ShortRange)
 		b.ReportMetric(res.Summary.CSFrac(), "cs_frac")
@@ -183,7 +194,7 @@ func BenchmarkFigure10ShortRange(b *testing.B) {
 // BenchmarkFigure12LongRange runs the long-range testbed experiment
 // (paper: CS 90%, mux 73%, conc 69%).
 func BenchmarkFigure12LongRange(b *testing.B) {
-	p := experiments.DefaultTestbed(experiments.ScaleBench)
+	p := experiments.DefaultTestbed(benchScale())
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunTestbed(p, testbed.LongRange)
 		b.ReportMetric(res.Summary.CSFrac(), "cs_frac")
@@ -210,7 +221,7 @@ func BenchmarkFigure14PropagationFit(b *testing.B) {
 // BenchmarkSection5ExposedTerminal runs the §5 adaptation-versus-
 // exposed-terminal comparison (paper: >2x vs ~10% vs ~3%).
 func BenchmarkSection5ExposedTerminal(b *testing.B) {
-	p := experiments.DefaultTestbed(experiments.ScaleBench)
+	p := experiments.DefaultTestbed(benchScale())
 	for i := 0; i < b.N; i++ {
 		res := experiments.ExposedTerminals(p)
 		b.ReportMetric(res.Study.AdaptationGain, "adaptation_gain_x")
@@ -223,7 +234,7 @@ func BenchmarkSection5ExposedTerminal(b *testing.B) {
 // (paper: ~20% spurious concurrency, ~4% bad-SNR configurations).
 func BenchmarkSection34ShadowingExample(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.Section34(experiments.ScaleBench)
+		res := experiments.Section34(benchScale())
 		b.ReportMetric(100*res.Example.PSpuriousConcurrency, "spurious_pct")
 		b.ReportMetric(100*res.Example.PBadSNRMC.Mean, "bad_snr_pct")
 	}
@@ -288,7 +299,7 @@ func BenchmarkAblationThresholdSensitivity(b *testing.B) {
 	p.SigmaDB = 8
 	p.DGrid = numeric.LinSpace(10, 160, 8)
 	for i := 0; i < b.N; i++ {
-		pts := experiments.ThresholdSensitivity(p, []float64{27, 55, 110}, experiments.ScaleBench)
+		pts := experiments.ThresholdSensitivity(p, []float64{27, 55, 110}, benchScale())
 		b.ReportMetric(pts[0].Efficiency, "eff_half_thresh")
 		b.ReportMetric(pts[1].Efficiency, "eff_at_thresh")
 		b.ReportMetric(pts[2].Efficiency, "eff_double_thresh")
@@ -411,7 +422,7 @@ func BenchmarkExtensionMultiPair(b *testing.B) {
 // BenchmarkExtension11g runs the deep-long-range 11a-versus-11g rate
 // set comparison (§4.2's suggestion).
 func BenchmarkExtension11g(b *testing.B) {
-	p := experiments.DefaultTestbed(experiments.ScaleBench)
+	p := experiments.DefaultTestbed(benchScale())
 	p.Experiment.MaxCombos = 10
 	for i := 0; i < b.N; i++ {
 		res := experiments.Extension11g(p)

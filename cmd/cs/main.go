@@ -1,0 +1,198 @@
+// Command cs is the unified CLI over the scenario engine. It replaces
+// the former cscurves, csthreshold, cslandscape, cstables, csmulti,
+// cstestbed, csfit, and csreport binaries with one scenario catalog.
+//
+// Usage:
+//
+//	cs list [-v]
+//	cs run <scenario> [-seed S] [-scale smoke|bench|full] [-parallel N]
+//	                  [-set k=v ...] [-grid k=v1,v2,... ...] [-out dir] [-quiet]
+//	cs all [-seed S] [-scale ...] [-parallel N] [-out dir] [-quiet]
+//	cs help <scenario>
+//
+// Determinism: for a fixed -seed and -scale, `cs run` output is
+// bit-identical at any -parallel width — random streams are assigned
+// per fixed-size Monte Carlo shard, never per worker.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"carriersense/internal/engine"
+	_ "carriersense/internal/experiments" // registers the scenario catalog
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "all":
+		err = cmdAll(os.Args[2:])
+	case "help", "-h", "--help":
+		if len(os.Args) > 2 {
+			err = cmdHelp(os.Args[2])
+		} else {
+			usage(os.Stdout)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n\n", os.Args[1])
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `cs — carrier sense reproduction scenario engine
+
+commands:
+  cs list [-v]              list registered scenarios (-v: settable params)
+  cs run <scenario> [...]   run one scenario
+  cs all [...]              run every scenario
+  cs help <scenario>        describe one scenario and its parameters
+
+run/all flags:
+  -seed S        override the scenario's Seed parameter
+  -scale LEVEL   sampling effort: smoke, bench (default), or full
+  -parallel N    Monte Carlo worker pool width (default GOMAXPROCS);
+                 results are bit-identical at any width
+  -out DIR       write artifacts (output.txt, result.json, *.csv) into a
+                 timestamped run directory under DIR
+  -quiet         suppress the live text report on stdout
+
+run-only flags:
+  -set k=v       override one parameter (repeatable; dotted keys reach
+                 nested structs, e.g. -set layout.nodes=30)
+  -grid k=v1,v2  sweep a parameter axis (repeatable; axes cross-multiply)
+
+"cs all" runs every scenario except report (which is itself the whole
+catalog in one document).`)
+}
+
+// multiFlag collects repeatable -set / -grid values.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// runOptions binds the shared run/all flags onto a FlagSet. After
+// fs.Parse, finish() completes and returns the engine options.
+// withSets adds the per-scenario -set/-grid flags, which only make
+// sense when running a single scenario.
+func runOptions(fs *flag.FlagSet, withSets bool) (finish func() engine.Options) {
+	var opts engine.Options
+	var sets, grid multiFlag
+	fs.StringVar(&opts.Seed, "seed", "", "override the scenario's Seed parameter")
+	fs.StringVar(&opts.Scale, "scale", "bench", "sampling effort: smoke, bench, or full")
+	fs.IntVar(&opts.Parallel, "parallel", 0, "worker pool width (0 = GOMAXPROCS)")
+	fs.StringVar(&opts.OutDir, "out", "", "artifact directory (empty = stdout only)")
+	if withSets {
+		fs.Var(&sets, "set", "parameter override k=v (repeatable)")
+		fs.Var(&grid, "grid", "parameter sweep axis k=v1,v2,... (repeatable)")
+	}
+	quiet := fs.Bool("quiet", false, "suppress the live text report")
+	fs.Usage = func() { usage(fs.Output()) }
+	return func() engine.Options {
+		opts.Sets = sets
+		opts.Grid = grid
+		if !*quiet {
+			opts.Stdout = os.Stdout
+		}
+		return opts
+	}
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "also list settable parameters with defaults")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, sc := range engine.Scenarios() {
+		fmt.Printf("%-14s %s\n", sc.Name, sc.Description)
+		fmt.Printf("%-14s   reproduces: %s\n", "", sc.Figures)
+		if *verbose {
+			for _, f := range engine.ParamFields(sc.NewParams()) {
+				fmt.Printf("%-14s   -set %s=%s (%s)\n", "", f.Key, f.Default, f.Type)
+			}
+		}
+	}
+	return nil
+}
+
+func cmdHelp(name string) error {
+	sc, ok := engine.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (try `cs list`)", name)
+	}
+	fmt.Printf("%s — %s\nreproduces: %s\n\nparameters:\n", sc.Name, sc.Description, sc.Figures)
+	fields := engine.ParamFields(sc.NewParams())
+	if len(fields) == 0 {
+		fmt.Println("  (none beyond -scale)")
+	}
+	for _, f := range fields {
+		fmt.Printf("  -set %s=%s  (%s)\n", f.Key, f.Default, f.Type)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	finish := runOptions(fs, true)
+	if len(args) > 0 && (args[0] == "-h" || args[0] == "--help" || args[0] == "-help") {
+		usage(os.Stdout)
+		return nil
+	}
+	if len(args) == 0 || len(args[0]) == 0 || args[0][0] == '-' {
+		return fmt.Errorf("usage: cs run <scenario> [flags]; see `cs list`")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	_, err := engine.Run(context.Background(), name, finish())
+	return err
+}
+
+func cmdAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	finish := runOptions(fs, false)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := finish()
+	for _, sc := range engine.Scenarios() {
+		// The report scenario re-runs the whole catalog; running it
+		// inside `cs all` would execute everything twice.
+		if sc.Name == "report" {
+			continue
+		}
+		if opts.Stdout != nil {
+			fmt.Fprintf(opts.Stdout, "=== %s ===\n", sc.Name)
+		}
+		if _, err := engine.Run(context.Background(), sc.Name, opts); err != nil {
+			return err
+		}
+		if opts.Stdout != nil {
+			fmt.Fprintln(opts.Stdout)
+		}
+	}
+	return nil
+}

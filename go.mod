@@ -1,0 +1,3 @@
+module carriersense
+
+go 1.22

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunWritesArtifacts(t *testing.T) {
+	registerStub(t, "stub-artifacts")
+	dir := t.TempDir()
+	now := time.Date(2026, 7, 30, 12, 0, 0, 0, time.UTC)
+	results, err := Run(context.Background(), "stub-artifacts", Options{
+		Scale:  "smoke",
+		OutDir: dir,
+		Now:    now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("%d results", len(results))
+	}
+	runDir := filepath.Join(dir, "20260730-120000-stub-artifacts")
+	text, err := os.ReadFile(filepath.Join(runDir, "output.txt"))
+	if err != nil {
+		t.Fatalf("output.txt: %v", err)
+	}
+	if string(text) != results[0].Text {
+		t.Error("output.txt does not match result text")
+	}
+	js, err := os.ReadFile(filepath.Join(runDir, "result.json"))
+	if err != nil {
+		t.Fatalf("result.json: %v", err)
+	}
+	var decoded struct {
+		Scenario string             `json:"scenario"`
+		Scale    string             `json:"scale"`
+		Metrics  map[string]float64 `json:"metrics"`
+		Params   struct {
+			Seed uint64
+			Gain float64
+		} `json:"params"`
+	}
+	if err := json.Unmarshal(js, &decoded); err != nil {
+		t.Fatalf("result.json decode: %v", err)
+	}
+	if decoded.Scenario != "stub-artifacts" || decoded.Scale != "smoke" || decoded.Metrics["gain"] != 2 {
+		t.Errorf("result.json = %+v", decoded)
+	}
+	if decoded.Params.Gain != 2 {
+		t.Errorf("params not serialized: %+v", decoded.Params)
+	}
+	csvBytes, err := os.ReadFile(filepath.Join(runDir, "data.csv"))
+	if err != nil {
+		t.Fatalf("data.csv: %v", err)
+	}
+	if got := strings.TrimSpace(string(csvBytes)); got != "a,b\n1,2" {
+		t.Errorf("data.csv = %q", got)
+	}
+}
+
+func TestGridVariantsGetSeparateArtifacts(t *testing.T) {
+	registerStub(t, "stub-grid-artifacts")
+	dir := t.TempDir()
+	now := time.Date(2026, 7, 30, 12, 0, 0, 0, time.UTC)
+	_, err := Run(context.Background(), "stub-grid-artifacts", Options{
+		OutDir: dir,
+		Now:    now,
+		Grid:   []string{"gain=3,4"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDir := filepath.Join(dir, "20260730-120000-stub-grid-artifacts")
+	for _, want := range []string{
+		"gain_3.txt", "gain_3.result.json", "gain_3.data.csv",
+		"gain_4.txt", "gain_4.result.json", "gain_4.data.csv",
+	} {
+		if _, err := os.Stat(filepath.Join(runDir, want)); err != nil {
+			entries, _ := os.ReadDir(runDir)
+			var names []string
+			for _, e := range entries {
+				names = append(names, e.Name())
+			}
+			t.Fatalf("missing artifact %s; have %v", want, names)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package engine_test
+
+// Integration test for the engine's determinism contract: the same
+// seed and scenario produce byte-identical merged results at any
+// -parallel worker width, because Monte Carlo random streams are
+// assigned per fixed-size shard rather than per worker.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"carriersense/internal/engine"
+	_ "carriersense/internal/experiments" // registers the scenario catalog
+)
+
+func runOnce(t *testing.T, name string, parallel int, sets ...string) *engine.Result {
+	t.Helper()
+	results, err := engine.Run(context.Background(), name, engine.Options{
+		Seed:     "12345",
+		Scale:    "smoke",
+		Parallel: parallel,
+		Sets:     sets,
+	})
+	if err != nil {
+		t.Fatalf("run %s parallel=%d: %v", name, parallel, err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("%d results", len(results))
+	}
+	return results[0]
+}
+
+func TestScenarioOutputInvariantUnderParallelWidth(t *testing.T) {
+	// One Monte Carlo model scenario, one packet-level scenario, and a
+	// multi-estimate table scenario cover the merged-result paths.
+	cases := []struct {
+		name string
+		sets []string
+	}{
+		{name: "curves"},
+		{name: "tables"},
+		{name: "section34"},
+		{name: "testbed", sets: []string{"range=short", "combos=4"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := runOnce(t, tc.name, 1, tc.sets...)
+			for _, width := range []int{2, 8} {
+				wide := runOnce(t, tc.name, width, tc.sets...)
+				if wide.Text != serial.Text {
+					t.Errorf("parallel=%d text differs from serial (lens %d vs %d)",
+						width, len(wide.Text), len(serial.Text))
+				}
+				if !reflect.DeepEqual(wide.Metrics, serial.Metrics) {
+					t.Errorf("parallel=%d metrics differ:\n%v\nvs\n%v",
+						width, wide.Metrics, serial.Metrics)
+				}
+			}
+		})
+	}
+}
+
+func TestEveryFormerBinaryHasAScenario(t *testing.T) {
+	// The consolidation contract of the cs CLI: each former cmd/cs*
+	// concern is a registered scenario.
+	want := map[string]string{
+		"curves":       "cscurves",
+		"inefficiency": "cscurves -inefficiency",
+		"threshold":    "csthreshold",
+		"landscape":    "cslandscape",
+		"preference":   "cslandscape -pref",
+		"tables":       "cstables",
+		"robustness":   "cstables -sweep",
+		"multi":        "csmulti",
+		"testbed":      "cstestbed",
+		"exposed":      "cstestbed -exposed",
+		"fit":          "csfit",
+		"report":       "csreport",
+	}
+	for name, former := range want {
+		if _, ok := engine.Lookup(name); !ok {
+			t.Errorf("scenario %q (former %s) not registered", name, former)
+		}
+	}
+	if got := len(engine.Scenarios()); got < len(want) {
+		t.Errorf("only %d scenarios registered", got)
+	}
+}
+
+func TestSeedChangesResults(t *testing.T) {
+	a, err := engine.Run(context.Background(), "curves", engine.Options{Seed: "1", Scale: "smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.Run(context.Background(), "curves", engine.Options{Seed: "2", Scale: "smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Text == b[0].Text {
+		t.Error("different seeds produced identical curves output")
+	}
+}

@@ -1,0 +1,83 @@
+// Package engine is the unified scenario engine: a registry of named
+// experiments plus a parallel, sharded run orchestrator behind the
+// single `cs` CLI.
+//
+// Every experiment in internal/experiments registers itself as a
+// Scenario — a name, a description, the paper figures it reproduces,
+// a typed parameter struct with defaults, and a Run function. The
+// engine resolves `-set k=v` overrides onto the parameter struct by
+// reflection, expands `-grid k=v1,v2,...` axes into a cross product of
+// variants, pins the montecarlo worker pool to `-parallel N`, and
+// emits artifacts (rendered text, JSON summaries, CSV tables) into a
+// timestamped run directory.
+//
+// Determinism contract: scenario results are a function of (params,
+// scale, seed) only. The sharded Monte Carlo pool in
+// internal/montecarlo assigns random streams per fixed-size shard,
+// never per worker, so `cs run <scenario> -seed S` is bit-identical
+// at any `-parallel` width.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Scenario is one registered experiment.
+type Scenario struct {
+	// Name is the CLI identifier (`cs run <name>`), lowercase.
+	Name string
+	// Description is a one-line summary shown by `cs list`.
+	Description string
+	// Figures maps the scenario to the paper figures/tables it
+	// reproduces (e.g. "Fig. 4/5, Fig. 9").
+	Figures string
+	// NewParams returns a pointer to a fresh, typed parameter struct
+	// populated with defaults. `-set` overrides are applied to it by
+	// reflection; it is also what result.json records.
+	NewParams func() any
+	// Run executes the scenario against rc.Params, writing its report
+	// to rc and registering metrics/artifacts.
+	Run func(rc *RunContext) error
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario to the global registry. It panics on an
+// empty name, a nil hook, or a duplicate — registration happens in
+// init() and a broken catalog should fail loudly at startup.
+func Register(s Scenario) {
+	if s.Name == "" || s.NewParams == nil || s.Run == nil {
+		panic(fmt.Sprintf("engine: invalid scenario registration %+v", s))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("engine: duplicate scenario %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the scenario registered under name.
+func Lookup(name string) (Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Scenarios returns every registered scenario, sorted by name.
+func Scenarios() []Scenario {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,305 @@
+package engine
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"carriersense/internal/montecarlo"
+	"carriersense/internal/plot"
+)
+
+// Options configures one engine invocation.
+type Options struct {
+	// Seed, when non-empty, is applied as `-set seed=<Seed>` to param
+	// structs that have a Seed field (scenarios without randomness
+	// ignore it).
+	Seed string
+	// Scale is the sampling effort hint: "smoke", "bench", or "full".
+	// Empty means "bench". Scenarios with a Scale param field receive
+	// it there too.
+	Scale string
+	// Parallel pins the sharded Monte Carlo worker pool width;
+	// 0 keeps GOMAXPROCS. Any width yields bit-identical results.
+	Parallel int
+	// Sets are "k=v" parameter overrides applied in order.
+	Sets []string
+	// Grid are "k=v1,v2,..." axes expanded into a cross product of
+	// variant runs.
+	Grid []string
+	// OutDir, when non-empty, is the parent under which a timestamped
+	// run directory (artifacts: output.txt, result.json, *.csv) is
+	// created. Empty disables artifact files.
+	OutDir string
+	// Stdout receives the live text report; nil discards it.
+	Stdout io.Writer
+	// Now stamps the run directory; zero means time.Now.
+	Now time.Time
+}
+
+// Result is the outcome of one scenario variant.
+type Result struct {
+	Scenario string             `json:"scenario"`
+	Variant  string             `json:"variant,omitempty"` // grid point label
+	Scale    string             `json:"scale"`
+	Params   any                `json:"params"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	Text     string             `json:"-"`
+	Elapsed  time.Duration      `json:"-"`
+
+	csvs map[string][]byte
+}
+
+// RunContext is the scenario's view of one variant run.
+type RunContext struct {
+	// Context carries cancellation from the CLI.
+	Context context.Context
+	// Params is the populated parameter struct (same concrete type as
+	// Scenario.NewParams()).
+	Params any
+	// Scale is the resolved sampling effort: "smoke", "bench", "full".
+	Scale string
+	// Parallel is the configured pool width (0 = GOMAXPROCS).
+	Parallel int
+
+	out    io.Writer
+	result *Result
+}
+
+// Out returns the writer for the scenario's text report. It is teed to
+// the caller's stdout and the output.txt artifact.
+func (rc *RunContext) Out() io.Writer { return rc.out }
+
+// Printf writes formatted text to the report.
+func (rc *RunContext) Printf(format string, args ...any) {
+	fmt.Fprintf(rc.out, format, args...)
+}
+
+// Metric records a named headline number for result.json (and the
+// determinism tests).
+func (rc *RunContext) Metric(name string, v float64) {
+	if rc.result.Metrics == nil {
+		rc.result.Metrics = map[string]float64{}
+	}
+	rc.result.Metrics[name] = v
+}
+
+// Chart renders a chart into the text report and registers its series
+// as a CSV artifact under name.csv.
+func (rc *RunContext) Chart(name string, c plot.Chart, width, height int) {
+	c.Render(rc.out, width, height)
+	var b strings.Builder
+	if err := c.WriteCSV(&b); err != nil {
+		fmt.Fprintf(rc.out, "[chart %s: csv artifact skipped: %v]\n", name, err)
+		return
+	}
+	rc.rawCSV(name, []byte(b.String()))
+}
+
+// CSV registers a tabular artifact written as name.csv in the run
+// directory. headers may be nil when rows already include them.
+func (rc *RunContext) CSV(name string, headers []string, rows [][]string) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if len(headers) > 0 {
+		_ = w.Write(headers)
+	}
+	_ = w.WriteAll(rows) // WriteAll flushes; strings.Builder cannot fail
+	rc.rawCSV(name, []byte(b.String()))
+}
+
+// Table renders a plot.Table into the text report and registers it as
+// a CSV artifact.
+func (rc *RunContext) Table(name string, t plot.Table) {
+	t.Render(rc.out)
+	rc.CSV(name, t.Headers, t.Rows)
+}
+
+func (rc *RunContext) rawCSV(name string, data []byte) {
+	if rc.result.csvs == nil {
+		rc.result.csvs = map[string][]byte{}
+	}
+	rc.result.csvs[name] = data
+}
+
+// Run resolves a scenario by name, expands its grid, executes every
+// variant, writes artifacts, and returns the per-variant results.
+func Run(ctx context.Context, name string, opts Options) ([]*Result, error) {
+	sc, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q (try `cs list`)", name)
+	}
+	if opts.Parallel > 0 {
+		montecarlo.SetMaxWorkers(opts.Parallel)
+		defer montecarlo.SetMaxWorkers(0)
+	}
+	scale := opts.Scale
+	if scale == "" {
+		scale = "bench"
+	}
+	switch scale {
+	case "smoke", "bench", "full":
+	default:
+		return nil, fmt.Errorf("unknown scale %q (want smoke, bench, or full)", scale)
+	}
+
+	var axes []GridAxis
+	for _, spec := range opts.Grid {
+		ax, err := ParseGridAxis(spec)
+		if err != nil {
+			return nil, err
+		}
+		axes = append(axes, ax)
+	}
+	points := ExpandGrid(axes)
+
+	runDir := ""
+	if opts.OutDir != "" {
+		now := opts.Now
+		if now.IsZero() {
+			now = time.Now()
+		}
+		runDir = filepath.Join(opts.OutDir, now.UTC().Format("20060102-150405")+"-"+sc.Name)
+		if err := os.MkdirAll(runDir, 0o755); err != nil {
+			return nil, fmt.Errorf("create run dir: %w", err)
+		}
+	}
+
+	var results []*Result
+	for _, point := range points {
+		res, err := runVariant(ctx, sc, point, scale, opts)
+		if err != nil {
+			return results, fmt.Errorf("scenario %s%s: %w", sc.Name, variantSuffix(point), err)
+		}
+		if runDir != "" {
+			if err := writeArtifacts(runDir, res); err != nil {
+				return results, err
+			}
+		}
+		results = append(results, res)
+	}
+	if runDir != "" && opts.Stdout != nil {
+		fmt.Fprintf(opts.Stdout, "\nartifacts: %s\n", runDir)
+	}
+	return results, nil
+}
+
+func variantSuffix(point GridPoint) string {
+	if len(point) == 0 {
+		return ""
+	}
+	return " [" + point.Label() + "]"
+}
+
+func runVariant(ctx context.Context, sc Scenario, point GridPoint, scale string, opts Options) (*Result, error) {
+	params := sc.NewParams()
+	if opts.Seed != "" && HasParam(params, "seed") {
+		if err := SetParam(params, "seed", opts.Seed); err != nil {
+			return nil, err
+		}
+	}
+	if HasParam(params, "scale") {
+		if err := SetParam(params, "scale", scale); err != nil {
+			return nil, err
+		}
+	}
+	for _, kv := range opts.Sets {
+		key, value, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -set %q (want key=value)", kv)
+		}
+		if err := SetParam(params, strings.TrimSpace(key), strings.TrimSpace(value)); err != nil {
+			return nil, err
+		}
+	}
+	for _, kv := range point {
+		if err := SetParam(params, kv.Key, kv.Value); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Scenario: sc.Name,
+		Variant:  point.Label(),
+		Scale:    scale,
+		Params:   params,
+	}
+	var text strings.Builder
+	out := io.Writer(&text)
+	if opts.Stdout != nil {
+		out = io.MultiWriter(&text, opts.Stdout)
+	}
+	rc := &RunContext{
+		Context:  ctx,
+		Params:   params,
+		Scale:    scale,
+		Parallel: opts.Parallel,
+		out:      out,
+		result:   res,
+	}
+	if res.Variant != "" {
+		rc.Printf("--- variant: %s ---\n", res.Variant)
+	}
+	start := time.Now()
+	if err := sc.Run(rc); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	res.Text = text.String()
+	return res, nil
+}
+
+func writeArtifacts(runDir string, res *Result) error {
+	base := "output"
+	if res.Variant != "" {
+		base = sanitize(res.Variant)
+	}
+	if err := os.WriteFile(filepath.Join(runDir, base+".txt"), []byte(res.Text), 0o644); err != nil {
+		return err
+	}
+	js, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal result: %w", err)
+	}
+	jsName := "result.json"
+	if res.Variant != "" {
+		jsName = base + ".result.json"
+	}
+	if err := os.WriteFile(filepath.Join(runDir, jsName), append(js, '\n'), 0o644); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(res.csvs))
+	for name := range res.csvs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		csvName := sanitize(name) + ".csv"
+		if res.Variant != "" {
+			csvName = base + "." + csvName
+		}
+		if err := os.WriteFile(filepath.Join(runDir, csvName), res.csvs[name], 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -30,6 +30,20 @@ const (
 	ScaleFull
 )
 
+// ParseScale maps the CLI's effort names to Scale values.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "smoke":
+		return ScaleSmoke, nil
+	case "bench", "":
+		return ScaleBench, nil
+	case "full":
+		return ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want smoke, bench, or full)", s)
+	}
+}
+
 // mcSamples returns the Monte Carlo sample count per estimate.
 func (s Scale) mcSamples() int {
 	switch s {

@@ -2,17 +2,53 @@
 // machinery behind the model's expected-throughput integrals. The
 // paper computed ⟨C_i⟩(R_max, D) "in Maple with Monte Carlo
 // integration" (§3.2.5); this package is our equivalent, with
-// deterministic per-worker random streams, standard-error tracking,
-// and optional convergence to a target relative error.
+// deterministic sharded random streams, standard-error tracking, and
+// optional convergence to a target relative error.
+//
+// Determinism contract: a sample budget is split into fixed-size
+// shards, each shard receives its own rng.Source split from the root
+// seed in shard order, and shard accumulators are merged in shard
+// order. The worker pool only decides which goroutine evaluates which
+// shard, so every estimate is bit-identical for a given seed
+// regardless of worker count or GOMAXPROCS. The engine's `-parallel`
+// flag sets the pool width via SetMaxWorkers.
 package montecarlo
 
 import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"carriersense/internal/rng"
 )
+
+// ShardSize is the number of samples per deterministic shard. It is a
+// fixed constant — never derived from the worker count — because the
+// shard plan defines the random stream assignment and therefore the
+// result.
+const ShardSize = 4096
+
+// maxWorkers is the configured pool width; 0 means GOMAXPROCS.
+var maxWorkers atomic.Int64
+
+// SetMaxWorkers sets the worker pool width used by all estimators.
+// n <= 0 restores the default (GOMAXPROCS). The width affects only
+// scheduling, never results.
+func SetMaxWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	maxWorkers.Store(int64(n))
+}
+
+// Workers returns the effective worker pool width.
+func Workers() int {
+	if n := int(maxWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Estimate is the result of a Monte Carlo mean estimation.
 type Estimate struct {
@@ -30,21 +66,27 @@ func (e Estimate) RelErr() float64 {
 	return math.Abs(e.StdErr / e.Mean)
 }
 
-// accumulator tracks running mean and M2 (Welford).
-type accumulator struct {
+// Accumulator tracks a running mean and sum of squared deviations
+// (Welford's algorithm). It is the merge currency of the sharded
+// runner: workers fill one Accumulator per shard and the engine folds
+// them together, in shard order, with Merge.
+type Accumulator struct {
 	n    int
 	mean float64
 	m2   float64
 }
 
-func (a *accumulator) add(x float64) {
+// Add folds one sample into the accumulator.
+func (a *Accumulator) Add(x float64) {
 	a.n++
 	d := x - a.mean
 	a.mean += d / float64(a.n)
 	a.m2 += d * (x - a.mean)
 }
 
-func (a *accumulator) merge(b accumulator) {
+// Merge folds another accumulator into this one (Chan et al. parallel
+// variance combination). Merging in a fixed order is deterministic.
+func (a *Accumulator) Merge(b Accumulator) {
 	if b.n == 0 {
 		return
 	}
@@ -59,7 +101,11 @@ func (a *accumulator) merge(b accumulator) {
 	a.n = n
 }
 
-func (a *accumulator) estimate() Estimate {
+// N returns the number of samples accumulated.
+func (a *Accumulator) N() int { return a.n }
+
+// Estimate returns the mean and its standard error.
+func (a *Accumulator) Estimate() Estimate {
 	e := Estimate{Mean: a.mean, N: a.n}
 	if a.n > 1 {
 		variance := a.m2 / float64(a.n-1)
@@ -68,46 +114,83 @@ func (a *accumulator) estimate() Estimate {
 	return e
 }
 
-// Mean estimates E[f] over n samples using parallel workers. Each
-// worker receives an independent deterministic substream split from a
-// Source seeded with seed, so results are reproducible for a fixed
-// (seed, n, GOMAXPROCS-independent) — the worker count affects only
-// scheduling, not the sample set, because streams are split up front
-// and sample counts are fixed per worker.
-func Mean(seed uint64, n int, f func(*rng.Source) float64) Estimate {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+// Shard is one fixed slice of a sample budget with its own
+// deterministic random stream.
+type Shard struct {
+	Index int         // position in the shard plan
+	N     int         // samples this shard evaluates
+	Src   *rng.Source // stream split from the root seed, in shard order
+}
+
+// PlanShards splits a total sample budget into ShardSize-sample shards
+// and deterministically derives one rng.Source per shard from the
+// seed. The plan depends only on (seed, total).
+func PlanShards(seed uint64, total int) []Shard {
+	if total <= 0 {
+		return nil
 	}
-	if workers < 1 {
-		workers = 1
-	}
+	count := (total + ShardSize - 1) / ShardSize
 	root := rng.New(seed)
-	srcs := make([]*rng.Source, workers)
-	for i := range srcs {
-		srcs[i] = root.Split()
+	shards := make([]Shard, count)
+	for i := range shards {
+		n := ShardSize
+		if i == count-1 {
+			n = total - i*ShardSize
+		}
+		shards[i] = Shard{Index: i, N: n, Src: root.Split()}
 	}
-	accs := make([]accumulator, workers)
+	return shards
+}
+
+// RunShards evaluates fn over every shard using a pool of Workers()
+// goroutines. fn must confine its writes to state owned by the shard
+// index (e.g. accs[shard.Index]); RunShards returns once every shard
+// has been evaluated.
+func RunShards(shards []Shard, fn func(Shard)) {
+	workers := Workers()
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		for _, s := range shards {
+			fn(s)
+		}
+		return
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := n * w / workers
-		hi := n * (w + 1) / workers
 		wg.Add(1)
-		go func(w, count int) {
+		go func() {
 			defer wg.Done()
-			src := srcs[w]
-			acc := &accs[w]
-			for i := 0; i < count; i++ {
-				acc.add(f(src))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				fn(shards[i])
 			}
-		}(w, hi-lo)
+		}()
 	}
 	wg.Wait()
-	var total accumulator
-	for _, a := range accs {
-		total.merge(a)
+}
+
+// Mean estimates E[f] over n samples using the sharded pool. Results
+// are bit-identical for a fixed (seed, n) at any worker width.
+func Mean(seed uint64, n int, f func(*rng.Source) float64) Estimate {
+	shards := PlanShards(seed, n)
+	accs := make([]Accumulator, len(shards))
+	RunShards(shards, func(s Shard) {
+		acc := &accs[s.Index]
+		for i := 0; i < s.N; i++ {
+			acc.Add(f(s.Src))
+		}
+	})
+	var total Accumulator
+	for i := range accs {
+		total.Merge(accs[i])
 	}
-	return total.estimate()
+	return total.Estimate()
 }
 
 // MeanVec estimates the means of a vector-valued integrand: f fills
@@ -116,52 +199,32 @@ func Mean(seed uint64, n int, f func(*rng.Source) float64) Estimate {
 // policies on identical configurations requires (common random
 // numbers — variance of *differences* shrinks dramatically).
 func MeanVec(seed uint64, n, dim int, f func(*rng.Source, []float64)) []Estimate {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	root := rng.New(seed)
-	srcs := make([]*rng.Source, workers)
-	for i := range srcs {
-		srcs[i] = root.Split()
-	}
-	accs := make([][]accumulator, workers)
+	shards := PlanShards(seed, n)
+	accs := make([][]Accumulator, len(shards))
 	for i := range accs {
-		accs[i] = make([]accumulator, dim)
+		accs[i] = make([]Accumulator, dim)
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := n * w / workers
-		hi := n * (w + 1) / workers
-		wg.Add(1)
-		go func(w, count int) {
-			defer wg.Done()
-			src := srcs[w]
-			out := make([]float64, dim)
-			for i := 0; i < count; i++ {
-				// Zero the vector so integrands may leave components
-				// unset (e.g. indicator variables set only when true).
-				for j := range out {
-					out[j] = 0
-				}
-				f(src, out)
-				for j, v := range out {
-					accs[w][j].add(v)
-				}
+	RunShards(shards, func(s Shard) {
+		out := make([]float64, dim)
+		for i := 0; i < s.N; i++ {
+			// Zero the vector so integrands may leave components
+			// unset (e.g. indicator variables set only when true).
+			for j := range out {
+				out[j] = 0
 			}
-		}(w, hi-lo)
-	}
-	wg.Wait()
+			f(s.Src, out)
+			for j, v := range out {
+				accs[s.Index][j].Add(v)
+			}
+		}
+	})
 	result := make([]Estimate, dim)
 	for j := 0; j < dim; j++ {
-		var total accumulator
-		for w := 0; w < workers; w++ {
-			total.merge(accs[w][j])
+		var total Accumulator
+		for i := range accs {
+			total.Merge(accs[i][j])
 		}
-		result[j] = total.estimate()
+		result[j] = total.Estimate()
 	}
 	return result
 }

@@ -117,33 +117,94 @@ func TestRelErrZeroMean(t *testing.T) {
 
 func TestAccumulatorMerge(t *testing.T) {
 	// Merging two halves must equal accumulating the whole.
-	var whole, a, b accumulator
+	var whole, a, b Accumulator
 	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 100, -3}
 	for i, x := range xs {
-		whole.add(x)
+		whole.Add(x)
 		if i < 5 {
-			a.add(x)
+			a.Add(x)
 		} else {
-			b.add(x)
+			b.Add(x)
 		}
 	}
-	a.merge(b)
-	ew, ea := whole.estimate(), a.estimate()
+	a.Merge(b)
+	ew, ea := whole.Estimate(), a.Estimate()
 	if ew.N != ea.N || math.Abs(ew.Mean-ea.Mean) > 1e-12 || math.Abs(ew.StdErr-ea.StdErr) > 1e-12 {
 		t.Errorf("merge mismatch: %+v vs %+v", ew, ea)
 	}
 }
 
 func TestMergeEmpty(t *testing.T) {
-	var a, b accumulator
-	a.add(3)
-	a.merge(b) // empty b: no-op
-	if got := a.estimate(); got.N != 1 || got.Mean != 3 {
+	var a, b Accumulator
+	a.Add(3)
+	a.Merge(b) // empty b: no-op
+	if got := a.Estimate(); got.N != 1 || got.Mean != 3 {
 		t.Errorf("merge empty changed accumulator: %+v", got)
 	}
-	var c accumulator
-	c.merge(a) // empty receiver adopts a
-	if got := c.estimate(); got.N != 1 || got.Mean != 3 {
+	var c Accumulator
+	c.Merge(a) // empty receiver adopts a
+	if got := c.Estimate(); got.N != 1 || got.Mean != 3 {
 		t.Errorf("empty merge failed: %+v", got)
+	}
+}
+
+func TestPlanShardsFixedByBudget(t *testing.T) {
+	shards := PlanShards(5, 3*ShardSize+17)
+	if len(shards) != 4 {
+		t.Fatalf("shard count = %d, want 4", len(shards))
+	}
+	total := 0
+	for i, s := range shards {
+		if s.Index != i {
+			t.Errorf("shard %d has index %d", i, s.Index)
+		}
+		total += s.N
+	}
+	if total != 3*ShardSize+17 {
+		t.Errorf("shard samples sum to %d", total)
+	}
+	if PlanShards(5, 0) != nil {
+		t.Error("zero budget should plan no shards")
+	}
+}
+
+func TestMeanInvariantUnderWorkerWidth(t *testing.T) {
+	// The determinism contract behind the engine's -parallel flag:
+	// worker width affects scheduling only, never the estimate.
+	defer SetMaxWorkers(0)
+	f := func(src *rng.Source) float64 { return src.Normal(0, 1) }
+	SetMaxWorkers(1)
+	serial := Mean(42, 3*ShardSize+100, f)
+	vecSerial := MeanVec(42, 2*ShardSize+9, 2, func(src *rng.Source, out []float64) {
+		out[0] = src.Float64()
+		out[1] = src.Exp(1)
+	})
+	for _, workers := range []int{2, 8, 64} {
+		SetMaxWorkers(workers)
+		got := Mean(42, 3*ShardSize+100, f)
+		if got != serial {
+			t.Errorf("workers=%d: %+v != serial %+v", workers, got, serial)
+		}
+		vec := MeanVec(42, 2*ShardSize+9, 2, func(src *rng.Source, out []float64) {
+			out[0] = src.Float64()
+			out[1] = src.Exp(1)
+		})
+		for j := range vec {
+			if vec[j] != vecSerial[j] {
+				t.Errorf("workers=%d: MeanVec[%d] %+v != serial %+v", workers, j, vec[j], vecSerial[j])
+			}
+		}
+	}
+}
+
+func TestSetMaxWorkers(t *testing.T) {
+	defer SetMaxWorkers(0)
+	SetMaxWorkers(3)
+	if Workers() != 3 {
+		t.Errorf("Workers() = %d, want 3", Workers())
+	}
+	SetMaxWorkers(0)
+	if Workers() < 1 {
+		t.Errorf("default Workers() = %d", Workers())
 	}
 }
