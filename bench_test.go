@@ -12,13 +12,18 @@
 package carriersense_bench
 
 import (
+	"fmt"
 	"math"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"carriersense/internal/capacity"
 	"carriersense/internal/core"
+	"carriersense/internal/dist"
 	"carriersense/internal/experiments"
 	"carriersense/internal/mac"
+	"carriersense/internal/montecarlo"
 	"carriersense/internal/numeric"
 	"carriersense/internal/phy"
 	"carriersense/internal/rng"
@@ -402,6 +407,43 @@ func BenchmarkMonteCarloAverages(b *testing.B) {
 	m := core.New(core.DefaultParams())
 	for i := 0; i < b.N; i++ {
 		m.EstimateAverages(uint64(i), 40_000, 55, 55, 55)
+	}
+}
+
+// BenchmarkDistributedVsLocal measures the distributed executor's
+// per-shard overhead against the in-process pool on the same
+// estimation (EstimateAverages, 40k samples ≈ 10 shards): HTTP/JSON
+// transport plus scheduling versus a plain RunShards sweep. Workers
+// are in-process httptest servers, so the delta is pure protocol cost
+// with no network in the way — the floor any real fleet adds to.
+func BenchmarkDistributedVsLocal(b *testing.B) {
+	m := core.New(core.DefaultParams())
+	const samples = 40_000
+	run := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := m.EstimateAverages(uint64(i), samples, 55, 55, 55)
+			b.ReportMetric(a.Efficiency(), "eff")
+		}
+		shards := float64(montecarlo.ShardCount(samples))
+		b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/shards*1e6, "us/shard")
+	}
+	b.Run("local", run)
+	for _, fleet := range []int{1, 2} {
+		hosts := make([]string, fleet)
+		for i := range hosts {
+			srv := httptest.NewServer(dist.NewServer())
+			defer srv.Close()
+			hosts[i] = strings.TrimPrefix(srv.URL, "http://")
+		}
+		remote, err := dist.NewRemote(hosts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("remote-workers-%d", fleet), func(b *testing.B) {
+			montecarlo.SetExecutor(remote)
+			defer montecarlo.SetExecutor(nil)
+			run(b)
+		})
 	}
 }
 

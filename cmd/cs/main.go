@@ -6,13 +6,17 @@
 //
 //	cs list [-v]
 //	cs run <scenario> [-seed S] [-scale smoke|bench|full] [-parallel N]
-//	                  [-set k=v ...] [-grid k=v1,v2,... ...] [-out dir] [-quiet]
-//	cs all [-seed S] [-scale ...] [-parallel N] [-out dir] [-quiet]
+//	                  [-workers host:port,...] [-set k=v ...]
+//	                  [-grid k=v1,v2,... ...] [-out dir] [-quiet]
+//	cs all [-seed S] [-scale ...] [-parallel N] [-workers ...] [-out dir] [-quiet]
+//	cs serve [-listen :8031] [-parallel N]
 //	cs help <scenario>
 //
 // Determinism: for a fixed -seed and -scale, `cs run` output is
 // bit-identical at any -parallel width — random streams are assigned
-// per fixed-size Monte Carlo shard, never per worker.
+// per fixed-size Monte Carlo shard, never per worker — and at any
+// -workers fleet size, because the distributed executor merges shard
+// accumulator states in shard order.
 package main
 
 import (
@@ -20,10 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 
+	"carriersense/internal/dist"
 	"carriersense/internal/engine"
 	_ "carriersense/internal/experiments" // registers the scenario catalog
+	"carriersense/internal/montecarlo"
 )
 
 func main() {
@@ -39,6 +46,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "all":
 		err = cmdAll(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		if len(os.Args) > 2 {
 			err = cmdHelp(os.Args[2])
@@ -63,6 +72,7 @@ commands:
   cs list [-v]              list registered scenarios (-v: settable params)
   cs run <scenario> [...]   run one scenario
   cs all [...]              run every scenario
+  cs serve [-listen :8031]  run a distributed shard worker
   cs help <scenario>        describe one scenario and its parameters
 
 run/all flags:
@@ -70,6 +80,9 @@ run/all flags:
   -scale LEVEL   sampling effort: smoke, bench (default), or full
   -parallel N    Monte Carlo worker pool width (default GOMAXPROCS);
                  results are bit-identical at any width
+  -workers LIST  distribute Monte Carlo shards over cs serve workers
+                 (comma-separated host:port list); results are
+                 bit-identical to a local run at any fleet size
   -out DIR       write artifacts (output.txt, result.json, *.csv) into a
                  timestamped run directory under DIR
   -quiet         suppress the live text report on stdout
@@ -96,12 +109,13 @@ func (m *multiFlag) Set(v string) error {
 // fs.Parse, finish() completes and returns the engine options.
 // withSets adds the per-scenario -set/-grid flags, which only make
 // sense when running a single scenario.
-func runOptions(fs *flag.FlagSet, withSets bool) (finish func() engine.Options) {
+func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (engine.Options, error)) {
 	var opts engine.Options
 	var sets, grid multiFlag
 	fs.StringVar(&opts.Seed, "seed", "", "override the scenario's Seed parameter")
 	fs.StringVar(&opts.Scale, "scale", "bench", "sampling effort: smoke, bench, or full")
 	fs.IntVar(&opts.Parallel, "parallel", 0, "worker pool width (0 = GOMAXPROCS)")
+	workers := fs.String("workers", "", "distribute shards over cs serve workers (host:port,host:port,...)")
 	fs.StringVar(&opts.OutDir, "out", "", "artifact directory (empty = stdout only)")
 	if withSets {
 		fs.Var(&sets, "set", "parameter override k=v (repeatable)")
@@ -109,13 +123,27 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() engine.Options) 
 	}
 	quiet := fs.Bool("quiet", false, "suppress the live text report")
 	fs.Usage = func() { usage(fs.Output()) }
-	return func() engine.Options {
+	return func() (engine.Options, error) {
 		opts.Sets = sets
 		opts.Grid = grid
 		if !*quiet {
 			opts.Stdout = os.Stdout
 		}
-		return opts
+		if opts.Parallel < 0 {
+			return opts, fmt.Errorf("-parallel must be >= 1 (or 0 for the GOMAXPROCS default), got %d", opts.Parallel)
+		}
+		if *workers != "" {
+			hosts, err := dist.ParseWorkerList(*workers)
+			if err != nil {
+				return opts, err
+			}
+			remote, err := dist.NewRemote(hosts)
+			if err != nil {
+				return opts, err
+			}
+			opts.Executor = remote
+		}
+		return opts, nil
 	}
 }
 
@@ -167,8 +195,45 @@ func cmdRun(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	_, err := engine.Run(context.Background(), name, finish())
+	opts, err := finish()
+	if err != nil {
+		return err
+	}
+	_, err = engine.Run(context.Background(), name, opts)
 	return err
+}
+
+// cmdServe runs a distributed shard worker: an HTTP server that
+// evaluates Monte Carlo shard batches against the kernel registry
+// compiled into this binary. Coordinators reach it via
+// `cs run <scenario> -workers host:port,...`.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", ":8031", "listen address (host:port)")
+	parallel := fs.Int("parallel", 0, "per-request worker pool width (0 = GOMAXPROCS)")
+	fs.Usage = func() { usage(fs.Output()) }
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 1 (or 0 for the GOMAXPROCS default), got %d", *parallel)
+	}
+	if *parallel > 0 {
+		if err := montecarlo.SetMaxWorkers(*parallel); err != nil {
+			return err
+		}
+	}
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- dist.ListenAndServe(*listen, ready) }()
+	select {
+	case addr := <-ready:
+		fmt.Fprintf(os.Stderr, "cs worker listening on %s (%d kernels; endpoints %s %s %s)\n",
+			addr, len(montecarlo.KernelNames()), dist.PathShards, dist.PathHealthz, dist.PathStats)
+	case err := <-errc:
+		return err
+	}
+	return <-errc
 }
 
 func cmdAll(args []string) error {
@@ -177,7 +242,10 @@ func cmdAll(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := finish()
+	opts, err := finish()
+	if err != nil {
+		return err
+	}
 	for _, sc := range engine.Scenarios() {
 		// The report scenario re-runs the whole catalog; running it
 		// inside `cs all` would execute everything twice.

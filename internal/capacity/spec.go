@@ -1,0 +1,71 @@
+package capacity
+
+// Spec is the serializable identity of a capacity Model — what a
+// distributed shard job ships instead of the Model interface value.
+// The zero Spec means "default" (Shannon with unit efficiency), so
+// environments that never touch the capacity knob serialize to
+// nothing.
+
+import "fmt"
+
+// Spec kinds.
+const (
+	// SpecDefault (empty Kind) builds the default Shannon model.
+	SpecDefault = ""
+	// SpecShannon builds Shannon{Efficiency}.
+	SpecShannon = "shannon"
+	// SpecFixedRate builds FixedRate{Rate, MinSNR}.
+	SpecFixedRate = "fixed-rate"
+	// SpecDiscrete builds Discrete{Table}.
+	SpecDiscrete = "discrete"
+)
+
+// Spec identifies a capacity model in serializable form.
+type Spec struct {
+	Kind string `json:"kind,omitempty"`
+	// Efficiency configures the Shannon kind.
+	Efficiency float64 `json:"efficiency,omitempty"`
+	// Rate and MinSNR configure the fixed-rate kind.
+	Rate   float64 `json:"rate,omitempty"`
+	MinSNR float64 `json:"min_snr,omitempty"`
+	// Table configures the discrete kind: the full rate set travels
+	// inline so custom tables survive the trip.
+	Table RateTable `json:"table,omitempty"`
+}
+
+// SpecOf captures the spec of a Model. nil (the default) and every
+// model type defined in this package round-trip; a foreign Model
+// implementation returns false, and callers must then evaluate
+// locally.
+func SpecOf(m Model) (Spec, bool) {
+	switch v := m.(type) {
+	case nil:
+		return Spec{}, true
+	case Shannon:
+		return Spec{Kind: SpecShannon, Efficiency: v.Efficiency}, true
+	case FixedRate:
+		return Spec{Kind: SpecFixedRate, Rate: v.Rate, MinSNR: v.MinSNR}, true
+	case Discrete:
+		return Spec{Kind: SpecDiscrete, Table: v.Table}, true
+	default:
+		return Spec{}, false
+	}
+}
+
+// Build reconstructs the Model a Spec was captured from. The default
+// spec returns nil, matching the "nil means Shannon" convention of
+// core.Params.
+func (s Spec) Build() (Model, error) {
+	switch s.Kind {
+	case SpecDefault:
+		return nil, nil
+	case SpecShannon:
+		return Shannon{Efficiency: s.Efficiency}, nil
+	case SpecFixedRate:
+		return FixedRate{Rate: s.Rate, MinSNR: s.MinSNR}, nil
+	case SpecDiscrete:
+		return Discrete{Table: s.Table}, nil
+	default:
+		return nil, fmt.Errorf("capacity: unknown spec kind %q", s.Kind)
+	}
+}

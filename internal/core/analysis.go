@@ -91,10 +91,12 @@ type Fairness struct {
 	P10CS float64
 }
 
-// EstimateFairness estimates the fairness metrics with n samples.
-func (m *Model) EstimateFairness(seed uint64, n int, rmax, d, dThresh float64) Fairness {
+// fairnessEval builds the fairness integrand (Jain index plus the two
+// starvation indicators); the core/fairness kernel rebuilds it on
+// workers.
+func (m *Model) fairnessEval(rmax, d, dThresh float64) montecarlo.EvalFunc {
 	pThresh := m.ThresholdPower(dThresh)
-	est := montecarlo.MeanVec(seed, n, 3, func(src *rng.Source, out []float64) {
+	return func(src *rng.Source, out []float64) {
 		c := m.SampleConfig(src, rmax, d)
 		x1 := m.CCarrierSense(c, 1, pThresh)
 		x2 := m.CCarrierSense(c, 2, pThresh)
@@ -109,7 +111,13 @@ func (m *Model) EstimateFairness(seed uint64, n int, rmax, d, dThresh float64) F
 		if !m.Defers(c, pThresh) && m.StarvedUnderConcurrency(c, 1, StarvationFraction) {
 			out[2] = 1
 		}
-	})
+	}
+}
+
+// EstimateFairness estimates the fairness metrics with n samples.
+func (m *Model) EstimateFairness(seed uint64, n int, rmax, d, dThresh float64) Fairness {
+	pThresh := m.ThresholdPower(dThresh)
+	est := m.estimatePoint(KernelFairness, rmax, d, dThresh, m.fairnessEval(rmax, d, dThresh), seed, n, 3)
 	// Percentile needs the sample set; rerun a single-threaded pass.
 	src := rng.New(seed ^ 0xfa1f)
 	samples := make([]float64, 0, n)
@@ -170,16 +178,25 @@ func (m *Model) EstimateShadowingExample(seed uint64, n int, rmax, d, dThresh fl
 	ex.PSpuriousConcurrency = m.SpuriousConcurrencyProbability(d, dThresh)
 	ex.PSmothered = geometry.FractionCloserTo(geometry.Point{X: -d, Y: 0}, rmax)
 	ex.PBadSNR = ex.PSpuriousConcurrency * ex.PSmothered
+	ex.PBadSNRMC = m.estimatePoint(KernelBadSNR, rmax, d, dThresh, m.badSNREval(rmax, d, dThresh), seed, n, 1)[0]
+	return ex
+}
+
+// badSNREval builds the §3.4 indicator integrand: spurious concurrency
+// leaving the receiver below 0 dB SNR. The core/bad-snr kernel
+// rebuilds it on workers.
+func (m *Model) badSNREval(rmax, d, dThresh float64) montecarlo.EvalFunc {
 	pThresh := m.ThresholdPower(dThresh)
-	ex.PBadSNRMC = montecarlo.Fraction(seed, n, func(src *rng.Source) bool {
+	return func(src *rng.Source, out []float64) {
 		c := m.SampleConfig(src, rmax, d)
 		if m.Defers(c, pThresh) {
-			return false
+			return
 		}
 		snr := m.SignalPower(c, 1) / (m.noise + m.InterferencePower(c, 1))
-		return snr < 1 // below 0 dB
-	})
-	return ex
+		if snr < 1 { // below 0 dB
+			out[0] = 1
+		}
+	}
 }
 
 // LumpedDistanceFactor converts a dB uncertainty into the equivalent

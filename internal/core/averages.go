@@ -48,12 +48,11 @@ const (
 	nAverages
 )
 
-// EstimateAverages estimates all policy averages at one (R_max, D)
-// point with n Monte Carlo configurations. dThresh sets the carrier
-// sense threshold distance.
-func (m *Model) EstimateAverages(seed uint64, n int, rmax, d, dThresh float64) Averages {
+// averagesEval builds the per-policy throughput integrand behind
+// EstimateAverages; the core/averages kernel rebuilds it on workers.
+func (m *Model) averagesEval(rmax, d, dThresh float64) montecarlo.EvalFunc {
 	pThresh := m.ThresholdPower(dThresh)
-	est := montecarlo.MeanVec(seed, n, nAverages, func(src *rng.Source, out []float64) {
+	return func(src *rng.Source, out []float64) {
 		c := m.SampleConfig(src, rmax, d)
 		out[idxSingle] = m.CSingle(c, 1)
 		out[idxMux] = m.CMultiplexing(c, 1)
@@ -71,7 +70,16 @@ func (m *Model) EstimateAverages(seed uint64, n int, rmax, d, dThresh float64) A
 		} else {
 			out[idxDeferred] = 0
 		}
-	})
+	}
+}
+
+// EstimateAverages estimates all policy averages at one (R_max, D)
+// point with n Monte Carlo configurations. dThresh sets the carrier
+// sense threshold distance. The estimation runs through the installed
+// executor (in-process by default, a worker fleet under `cs run
+// -workers`); results are bit-identical either way.
+func (m *Model) EstimateAverages(seed uint64, n int, rmax, d, dThresh float64) Averages {
+	est := m.estimatePoint(KernelAverages, rmax, d, dThresh, m.averagesEval(rmax, d, dThresh), seed, n, nAverages)
 	return Averages{
 		Rmax: rmax, D: d, DThresh: dThresh,
 		Single:           est[idxSingle],
@@ -157,11 +165,17 @@ func (m *Model) NormalizationConstant(seed uint64, n int) float64 {
 	if m.params.SigmaDB == 0 {
 		return m.AvgSingleQuad(20)
 	}
-	est := montecarlo.Mean(seed, n, func(src *rng.Source) float64 {
-		c := m.SampleConfig(src, 20, 1)
-		return m.CSingle(c, 1)
-	})
-	return est.Mean
+	est := m.estimatePoint(KernelSingle, 20, 1, 0, m.singleEval(20, 1), seed, n, 1)
+	return est[0].Mean
+}
+
+// singleEval builds the no-competition throughput integrand; the
+// core/single kernel rebuilds it on workers.
+func (m *Model) singleEval(rmax, d float64) montecarlo.EvalFunc {
+	return func(src *rng.Source, out []float64) {
+		c := m.SampleConfig(src, rmax, d)
+		out[0] = m.CSingle(c, 1)
+	}
 }
 
 // ConcurrencySlope estimates d⟨C_conc⟩/dD at the given D by a central

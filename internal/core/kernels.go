@@ -1,0 +1,149 @@
+package core
+
+// Kernel registration: every Monte Carlo integrand of the model is a
+// named montecarlo kernel whose parameters serialize to JSON, so any
+// estimation in this package can be farmed out to worker processes by
+// a distributed executor (internal/dist) without the callers — the 15
+// registered scenarios — changing at all. The coordinator and the
+// workers run the same binary, so a (kernel name, params) pair
+// rebuilds the exact closure on either side.
+//
+// Environments with a foreign capacity.Model implementation (anything
+// outside internal/capacity) have no serializable identity; the
+// estimators detect that and fall back to the in-process pool, which
+// is bit-identical anyway.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"carriersense/internal/capacity"
+	"carriersense/internal/montecarlo"
+)
+
+// Kernel names registered by this package.
+const (
+	KernelAverages   = "core/averages"    // per-policy throughput vector (EstimateAverages)
+	KernelSingle     = "core/single"      // no-competition throughput (NormalizationConstant)
+	KernelFairness   = "core/fairness"    // Jain index + starvation indicators (EstimateFairness)
+	KernelBadSNR     = "core/bad-snr"     // §3.4 spurious-concurrency ∧ bad-SNR indicator
+	KernelPolicyDiff = "core/policy-diff" // C_conc vs C_mux pair (OptimalThresholdMC)
+	KernelMulti      = "core/multi"       // n-pair policy vector (EstimateMulti)
+)
+
+// EnvSpec is the serializable form of Params.
+type EnvSpec struct {
+	Alpha    float64       `json:"alpha"`
+	SigmaDB  float64       `json:"sigma_db"`
+	NoiseDB  float64       `json:"noise_db"`
+	Capacity capacity.Spec `json:"capacity,omitempty"`
+}
+
+// envSpecOf captures the environment's serializable identity; ok is
+// false when the capacity model is a foreign implementation.
+func envSpecOf(p Params) (EnvSpec, bool) {
+	cs, ok := capacity.SpecOf(p.Capacity)
+	return EnvSpec{Alpha: p.Alpha, SigmaDB: p.SigmaDB, NoiseDB: p.NoiseDB, Capacity: cs}, ok
+}
+
+// build reconstructs the Model an EnvSpec was captured from.
+func (s EnvSpec) build() (*Model, error) {
+	capModel, err := s.Capacity.Build()
+	if err != nil {
+		return nil, err
+	}
+	p := Params{Alpha: s.Alpha, SigmaDB: s.SigmaDB, NoiseDB: s.NoiseDB, Capacity: capModel}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return New(p), nil
+}
+
+// pointParams parameterize the two-pair kernels: one environment and
+// one (R_max, D, D_thresh) evaluation point. Kernels that ignore
+// D_thresh leave it zero.
+type pointParams struct {
+	Env     EnvSpec `json:"env"`
+	Rmax    float64 `json:"rmax"`
+	D       float64 `json:"d"`
+	DThresh float64 `json:"dthresh,omitempty"`
+}
+
+// multiParamsWire parameterize the n-pair kernel.
+type multiParamsWire struct {
+	Env        EnvSpec `json:"env"`
+	NPairs     int     `json:"npairs"`
+	AreaRadius float64 `json:"area_radius"`
+	Rmax       float64 `json:"rmax"`
+	DThresh    float64 `json:"dthresh"`
+	Rounds     int     `json:"rounds"`
+}
+
+// pointFactory adapts a Model-level eval constructor into a
+// montecarlo.KernelFactory over pointParams.
+func pointFactory(build func(m *Model, p pointParams) montecarlo.EvalFunc) montecarlo.KernelFactory {
+	return func(raw json.RawMessage) (montecarlo.EvalFunc, error) {
+		var p pointParams
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, err
+		}
+		m, err := p.Env.build()
+		if err != nil {
+			return nil, err
+		}
+		return build(m, p), nil
+	}
+}
+
+func init() {
+	montecarlo.RegisterKernel(KernelAverages, pointFactory(func(m *Model, p pointParams) montecarlo.EvalFunc {
+		return m.averagesEval(p.Rmax, p.D, p.DThresh)
+	}))
+	montecarlo.RegisterKernel(KernelSingle, pointFactory(func(m *Model, p pointParams) montecarlo.EvalFunc {
+		return m.singleEval(p.Rmax, p.D)
+	}))
+	montecarlo.RegisterKernel(KernelFairness, pointFactory(func(m *Model, p pointParams) montecarlo.EvalFunc {
+		return m.fairnessEval(p.Rmax, p.D, p.DThresh)
+	}))
+	montecarlo.RegisterKernel(KernelBadSNR, pointFactory(func(m *Model, p pointParams) montecarlo.EvalFunc {
+		return m.badSNREval(p.Rmax, p.D, p.DThresh)
+	}))
+	montecarlo.RegisterKernel(KernelPolicyDiff, pointFactory(func(m *Model, p pointParams) montecarlo.EvalFunc {
+		return m.policyDiffEval(p.Rmax, p.D)
+	}))
+	montecarlo.RegisterKernel(KernelMulti, func(raw json.RawMessage) (montecarlo.EvalFunc, error) {
+		var p multiParamsWire
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, err
+		}
+		if p.NPairs < 1 {
+			return nil, fmt.Errorf("core: multi kernel needs npairs >= 1, got %d", p.NPairs)
+		}
+		env, err := p.Env.build()
+		if err != nil {
+			return nil, err
+		}
+		mm := NewMulti(MultiParams{
+			Env:        env.Params(),
+			NPairs:     p.NPairs,
+			AreaRadius: p.AreaRadius,
+			Rmax:       p.Rmax,
+			DThresh:    p.DThresh,
+			Rounds:     p.Rounds,
+		})
+		return mm.multiEval(), nil
+	})
+}
+
+// estimatePoint routes a two-pair kernel estimation through the
+// installed executor, falling back to running eval on the in-process
+// pool when the environment has no serializable identity. Both paths
+// evaluate the same shard plan with the same closure and are
+// bit-identical.
+func (m *Model) estimatePoint(kernel string, rmax, d, dThresh float64, eval montecarlo.EvalFunc, seed uint64, n, dim int) []montecarlo.Estimate {
+	if env, ok := envSpecOf(m.params); ok {
+		p := pointParams{Env: env, Rmax: rmax, D: d, DThresh: dThresh}
+		return montecarlo.KernelMeanVec(kernel, p, seed, n, dim)
+	}
+	return montecarlo.MeanVec(seed, n, dim, eval)
+}

@@ -262,20 +262,23 @@ func (a MultiAverages) ExposedHeadroom() float64 {
 	return a.BestK.Mean/a.CS.Mean - 1
 }
 
-// EstimateMulti runs the n-pair Monte Carlo.
-func (mm *MultiModel) EstimateMulti(seed uint64, nSamples int) MultiAverages {
+// Indices into the multi kernel's sample vector.
+const (
+	idxMultiTDMA = iota
+	idxMultiConc
+	idxMultiCS
+	idxMultiBestK
+	idxMultiBestLevel
+	idxMultiActive
+	nMultiIdx
+)
+
+// multiEval builds the n-pair policy-vector integrand behind
+// EstimateMulti; the core/multi kernel rebuilds it on workers.
+func (mm *MultiModel) multiEval() montecarlo.EvalFunc {
 	n := mm.p.NPairs
 	pThresh := mm.model.ThresholdPower(mm.p.DThresh)
-	const (
-		idxTDMA = iota
-		idxConc
-		idxCS
-		idxBestK
-		idxBestLevel
-		idxActive
-		nIdx
-	)
-	est := montecarlo.MeanVec(seed, nSamples, nIdx, func(src *rng.Source, out []float64) {
+	return func(src *rng.Source, out []float64) {
 		c := mm.sample(src)
 		all := uint64(1<<uint(n)) - 1
 		// TDMA.
@@ -283,18 +286,18 @@ func (mm *MultiModel) EstimateMulti(seed uint64, nSamples int) MultiAverages {
 		for i := 0; i < n; i++ {
 			tdma += mm.pairCapacity(c, i, 1<<uint(i)) / float64(n)
 		}
-		out[idxTDMA] = tdma / float64(n)
+		out[idxMultiTDMA] = tdma / float64(n)
 		// Full concurrency.
 		conc := 0.0
 		for i := 0; i < n; i++ {
 			conc += mm.pairCapacity(c, i, all)
 		}
-		out[idxConc] = conc / float64(n)
+		out[idxMultiConc] = conc / float64(n)
 		// Carrier sense.
-		out[idxCS] = mm.csThroughput(src, c, pThresh)
+		out[idxMultiCS] = mm.csThroughput(src, c, pThresh)
 		// Active count under CS (one extra round, cheap).
 		active := mm.csRound(src, c, pThresh)
-		out[idxActive] = float64(popcount(active))
+		out[idxMultiActive] = float64(popcount(active))
 		// Best uniform-k.
 		best, bestK := 0.0, 1
 		for k := 1; k <= n; k++ {
@@ -303,17 +306,37 @@ func (mm *MultiModel) EstimateMulti(seed uint64, nSamples int) MultiAverages {
 				best, bestK = v, k
 			}
 		}
-		out[idxBestK] = best
-		out[idxBestLevel] = float64(bestK)
-	})
+		out[idxMultiBestK] = best
+		out[idxMultiBestLevel] = float64(bestK)
+	}
+}
+
+// EstimateMulti runs the n-pair Monte Carlo through the installed
+// executor (in-process by default, a worker fleet under `cs run
+// -workers`).
+func (mm *MultiModel) EstimateMulti(seed uint64, nSamples int) MultiAverages {
+	n := mm.p.NPairs
+	var est []montecarlo.Estimate
+	if env, ok := envSpecOf(mm.p.Env); ok {
+		est = montecarlo.KernelMeanVec(KernelMulti, multiParamsWire{
+			Env:        env,
+			NPairs:     mm.p.NPairs,
+			AreaRadius: mm.p.AreaRadius,
+			Rmax:       mm.p.Rmax,
+			DThresh:    mm.p.DThresh,
+			Rounds:     mm.p.Rounds,
+		}, seed, nSamples, nMultiIdx)
+	} else {
+		est = montecarlo.MeanVec(seed, nSamples, nMultiIdx, mm.multiEval())
+	}
 	return MultiAverages{
 		NPairs:        n,
-		TDMA:          est[idxTDMA],
-		Conc:          est[idxConc],
-		CS:            est[idxCS],
-		BestK:         est[idxBestK],
-		MeanBestLevel: est[idxBestLevel],
-		AvgActive:     est[idxActive],
+		TDMA:          est[idxMultiTDMA],
+		Conc:          est[idxMultiConc],
+		CS:            est[idxMultiCS],
+		BestK:         est[idxMultiBestK],
+		MeanBestLevel: est[idxMultiBestLevel],
+		AvgActive:     est[idxMultiActive],
 	}
 }
 

@@ -77,11 +77,7 @@ func (m *Model) OptimalThresholdQuad(rmax float64) float64 {
 // keeps the crossing-point definition and so do we.
 func (m *Model) OptimalThresholdMC(seed uint64, n int, rmax float64) float64 {
 	diff := func(d float64) float64 {
-		est := montecarlo.MeanVec(seed, n, 2, func(src *rng.Source, out []float64) {
-			c := m.SampleConfig(src, rmax, d)
-			out[0] = m.CConcurrent(c, 1)
-			out[1] = m.CMultiplexing(c, 1)
-		})
+		est := m.estimatePoint(KernelPolicyDiff, rmax, d, 0, m.policyDiffEval(rmax, d), seed, n, 2)
 		return est[0].Mean - est[1].Mean
 	}
 	lo, hi := 1e-3, math.Max(4*rmax, 50.0)
@@ -96,6 +92,17 @@ func (m *Model) OptimalThresholdMC(seed uint64, n int, rmax float64) float64 {
 		return hi
 	}
 	return d
+}
+
+// policyDiffEval builds the common-random-numbers C_conc/C_mux pair
+// integrand behind OptimalThresholdMC; the core/policy-diff kernel
+// rebuilds it on workers.
+func (m *Model) policyDiffEval(rmax, d float64) montecarlo.EvalFunc {
+	return func(src *rng.Source, out []float64) {
+		c := m.SampleConfig(src, rmax, d)
+		out[0] = m.CConcurrent(c, 1)
+		out[1] = m.CMultiplexing(c, 1)
+	}
 }
 
 // OptimalThreshold picks the appropriate solver for the model's σ.

@@ -1,0 +1,78 @@
+package dist
+
+// The wire protocol between coordinator and workers: plain HTTP/JSON,
+// one POST per shard batch. Accumulator states travel as IEEE-754 bit
+// patterns (montecarlo.AccumulatorState), so a state that crosses the
+// wire is the state that was computed — no printf rounding anywhere in
+// the distributed merge.
+
+import (
+	"fmt"
+
+	"carriersense/internal/montecarlo"
+)
+
+// Endpoint paths served by every worker.
+const (
+	// PathShards accepts a ShardJob POST and returns a ShardResponse.
+	PathShards = "/v1/shards"
+	// PathHealthz reports liveness.
+	PathHealthz = "/healthz"
+	// PathStats reports cumulative worker statistics.
+	PathStats = "/stats"
+)
+
+// ShardJob is one batch of shard work: the full estimation identity
+// (the embedded montecarlo.Request, whose fields flatten into the
+// JSON) plus the shard indices this worker should evaluate. Any
+// duplicate-free subset of the plan's indices is valid, which is what
+// lets the coordinator re-dispatch a dead worker's shards elsewhere.
+type ShardJob struct {
+	montecarlo.Request
+	Indices []int `json:"indices"`
+}
+
+// Validate checks the batch against the shard plan it references.
+func (j ShardJob) Validate() error {
+	if err := j.Request.Validate(); err != nil {
+		return err
+	}
+	if len(j.Indices) == 0 {
+		return fmt.Errorf("dist: shard job has no indices")
+	}
+	count := montecarlo.ShardCount(j.Samples)
+	seen := make(map[int]bool, len(j.Indices))
+	for _, idx := range j.Indices {
+		if idx < 0 || idx >= count {
+			return fmt.Errorf("dist: shard index %d out of range [0,%d)", idx, count)
+		}
+		if seen[idx] {
+			return fmt.Errorf("dist: duplicate shard index %d", idx)
+		}
+		seen[idx] = true
+	}
+	return nil
+}
+
+// ShardResult is one evaluated shard: its index and one accumulator
+// state per component.
+type ShardResult struct {
+	Index int                           `json:"index"`
+	Accs  []montecarlo.AccumulatorState `json:"accs"`
+}
+
+// ShardResponse is the worker's answer to a ShardJob, one result per
+// requested index.
+type ShardResponse struct {
+	Results []ShardResult `json:"results"`
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Requests      int64    `json:"requests"`
+	Shards        int64    `json:"shards"`
+	Samples       int64    `json:"samples"`
+	Failures      int64    `json:"failures"`
+	Kernels       []string `json:"kernels"`
+}

@@ -1,0 +1,443 @@
+package dist
+
+// The coordinator side: Remote schedules a request's shard plan across
+// the worker fleet. Scheduling is pull-based — each worker drains a
+// shared pending queue in batches — so fast workers naturally take
+// more shards, and a dead worker's unfinished shards flow back into
+// the queue for the survivors. None of this affects results: shard
+// accumulators are stored by index and merged in shard order once
+// every shard has been evaluated somewhere.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"carriersense/internal/montecarlo"
+)
+
+// Remote tuning defaults.
+const (
+	// DefaultBatchSize is the number of shards per worker request —
+	// large enough to amortize the HTTP round trip (a shard is 4096
+	// samples), small enough that failover loses little work.
+	DefaultBatchSize = 8
+	// DefaultConcurrency is the number of in-flight requests per
+	// worker, covering request latency while the worker computes.
+	DefaultConcurrency = 2
+	// DefaultHostFailLimit is the number of consecutive transport
+	// failures after which a worker is declared dead and abandoned.
+	DefaultHostFailLimit = 3
+)
+
+// RemoteOptions tune a Remote executor. The zero value of every field
+// selects a default.
+type RemoteOptions struct {
+	Client    *http.Client // transport; nil builds one with sane timeouts
+	BatchSize int          // shards per request (default DefaultBatchSize)
+	// MaxAttempts is the per-shard attempt budget across the whole
+	// fleet before the run fails. 0 scales with the fleet:
+	// (HostFailLimit+Concurrency)·workers + 1, so a shard can survive
+	// every worker dying around it and still get a clean attempt.
+	MaxAttempts   int
+	Concurrency   int // in-flight requests per worker (default DefaultConcurrency)
+	HostFailLimit int // consecutive failures before a worker is dead (default DefaultHostFailLimit)
+}
+
+// Remote is an Executor that distributes shard evaluation over a fleet
+// of `cs serve` workers. Safe for concurrent use. Worker health
+// persists across estimations: a worker declared dead stays abandoned
+// for the Remote's lifetime (one `cs run`), so a scenario with many
+// estimation points pays the detection cost once, not per point.
+type Remote struct {
+	hosts []*hostState
+	opt   RemoteOptions
+}
+
+// NewRemote builds a Remote executor over the given host:port workers
+// (as accepted by ParseWorkerList).
+func NewRemote(hosts []string, opts ...RemoteOptions) (*Remote, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("dist: no workers given")
+	}
+	var opt RemoteOptions
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = DefaultBatchSize
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = DefaultConcurrency
+	}
+	if opt.HostFailLimit <= 0 {
+		opt.HostFailLimit = DefaultHostFailLimit
+	}
+	if opt.MaxAttempts <= 0 {
+		opt.MaxAttempts = (opt.HostFailLimit+opt.Concurrency)*len(hosts) + 1
+	}
+	if opt.Client == nil {
+		// No overall request timeout: a shard batch legitimately takes
+		// as long as its kernel does (minutes at -scale full), and a
+		// deadline here would misread slow computation as worker death.
+		// Dead hosts are still detected quickly via the dial timeout,
+		// and canceling the run's context aborts in-flight requests.
+		opt.Client = &http.Client{
+			Transport: &http.Transport{
+				DialContext: (&net.Dialer{Timeout: 10 * time.Second}).DialContext,
+			},
+		}
+	}
+	r := &Remote{opt: opt}
+	for _, h := range hosts {
+		if h == "" {
+			return nil, fmt.Errorf("dist: empty worker address")
+		}
+		if !strings.Contains(h, "://") {
+			h = "http://" + h
+		}
+		r.hosts = append(r.hosts, &hostState{url: strings.TrimRight(h, "/")})
+	}
+	return r, nil
+}
+
+// Workers returns the configured worker base URLs.
+func (r *Remote) Workers() []string {
+	out := make([]string, len(r.hosts))
+	for i, h := range r.hosts {
+		out[i] = h.url
+	}
+	return out
+}
+
+// ParseWorkerList validates a comma-separated host:port list (the
+// `-workers` flag) and returns the cleaned entries. Every entry must
+// be host:port with a numeric port in [1, 65535].
+func ParseWorkerList(spec string) ([]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("dist: empty worker list")
+	}
+	var hosts []string
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("dist: empty entry in worker list %q", spec)
+		}
+		host, port, err := net.SplitHostPort(entry)
+		if err != nil {
+			return nil, fmt.Errorf("dist: bad worker %q (want host:port): %v", entry, err)
+		}
+		if host == "" {
+			return nil, fmt.Errorf("dist: bad worker %q: missing host", entry)
+		}
+		p, err := strconv.Atoi(port)
+		if err != nil || p < 1 || p > 65535 {
+			return nil, fmt.Errorf("dist: bad worker %q: port must be 1-65535", entry)
+		}
+		hosts = append(hosts, entry)
+	}
+	return hosts, nil
+}
+
+// dispatch is the shared scheduling state of one EstimateVec call.
+type dispatch struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   []int                      // shard indices awaiting (re-)dispatch
+	attempts  []int                      // per-shard attempt counts
+	results   [][]montecarlo.Accumulator // per-shard per-component states
+	remaining int                        // shards not yet completed
+	loops     int                        // worker goroutines still running
+	err       error                      // first fatal error; ends the run
+}
+
+func newDispatch(count, loops int) *dispatch {
+	d := &dispatch{
+		pending:   make([]int, count),
+		attempts:  make([]int, count),
+		results:   make([][]montecarlo.Accumulator, count),
+		remaining: count,
+		loops:     loops,
+	}
+	for i := range d.pending {
+		d.pending[i] = i
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// next blocks until a batch of work is available and claims it, or
+// returns nil when the run is over (all shards done or fatal error).
+func (d *dispatch) next(batch int) []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.pending) == 0 && d.remaining > 0 && d.err == nil {
+		d.cond.Wait()
+	}
+	if d.remaining == 0 || d.err != nil {
+		return nil
+	}
+	n := batch
+	if n > len(d.pending) {
+		n = len(d.pending)
+	}
+	claimed := append([]int(nil), d.pending[:n]...)
+	d.pending = d.pending[n:]
+	return claimed
+}
+
+// complete records evaluated shards.
+func (d *dispatch) complete(indices []int, accs [][]montecarlo.Accumulator) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, idx := range indices {
+		if d.results[idx] == nil {
+			d.results[idx] = accs[i]
+			d.remaining--
+		}
+	}
+	d.cond.Broadcast()
+}
+
+// requeue returns a failed batch to the queue, charging one attempt
+// per shard. A shard that exhausts its budget fails the whole run.
+func (d *dispatch) requeue(indices []int, maxAttempts int, cause error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return
+	}
+	for _, idx := range indices {
+		if d.results[idx] != nil {
+			continue
+		}
+		d.attempts[idx]++
+		if d.attempts[idx] >= maxAttempts {
+			d.err = fmt.Errorf("dist: shard %d failed after %d attempts: %w", idx, d.attempts[idx], cause)
+			break
+		}
+		d.pending = append(d.pending, idx)
+	}
+	d.cond.Broadcast()
+}
+
+// loopExited records a worker goroutine leaving the run, for whatever
+// reason — its host died (possibly declared dead by a concurrent
+// estimation sharing the same Remote), the queue drained, or a fatal
+// error. The run fails when the last goroutine leaves with shards
+// still outstanding; counting goroutines rather than hosts means no
+// exit path can strand wait() without a verdict.
+func (d *dispatch) loopExited(host string, cause error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.loops--
+	if d.loops <= 0 && d.remaining > 0 && d.err == nil {
+		d.err = fmt.Errorf("dist: all workers failed (last: %s: %v)", host, cause)
+	}
+	d.cond.Broadcast()
+}
+
+// fail records a fatal error (context cancellation) that retrying
+// elsewhere cannot cure.
+func (d *dispatch) fail(err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.cond.Broadcast()
+}
+
+// wait blocks until the run completes or fails.
+func (d *dispatch) wait() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.remaining > 0 && d.err == nil {
+		d.cond.Wait()
+	}
+	return d.err
+}
+
+// EstimateVec implements Executor: it schedules the request's shard
+// plan across the fleet, survives worker deaths as long as one worker
+// remains, and merges the returned accumulator states in shard order.
+func (r *Remote) EstimateVec(ctx context.Context, req montecarlo.Request) ([]montecarlo.Accumulator, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	// Only workers still alive from earlier estimations join this one.
+	var live []*hostState
+	for _, h := range r.hosts {
+		h.mu.Lock()
+		if !h.dead {
+			live = append(live, h)
+		}
+		h.mu.Unlock()
+	}
+	if len(live) == 0 {
+		return nil, fmt.Errorf("dist: all %d workers are dead", len(r.hosts))
+	}
+	count := montecarlo.ShardCount(req.Samples)
+	d := newDispatch(count, len(live)*r.opt.Concurrency)
+
+	// Cancel in-flight requests the moment the run completes or fails.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := context.AfterFunc(ctx, func() { d.fail(ctx.Err()) })
+	defer stop()
+
+	var wg sync.WaitGroup
+	for _, h := range live {
+		h := h
+		for c := 0; c < r.opt.Concurrency; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.workerLoop(ctx, h, req, d, r.opt.MaxAttempts)
+			}()
+		}
+	}
+
+	err := d.wait()
+	cancel() // release any worker goroutine blocked on a slow request
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	merged := make([]montecarlo.Accumulator, req.Dim)
+	for idx := 0; idx < count; idx++ {
+		for j := 0; j < req.Dim; j++ {
+			merged[j].Merge(d.results[idx][j])
+		}
+	}
+	return merged, nil
+}
+
+// hostState is the shared health of one worker across its concurrent
+// request loops and across estimations: death is permanent for the
+// Remote's lifetime.
+type hostState struct {
+	url      string
+	mu       sync.Mutex
+	failures int  // consecutive transport failures
+	dead     bool // declared dead; all loops for this host exit
+}
+
+// fatalStatusError marks a worker response that retrying on the same
+// worker cannot cure (it understood the request and rejected it); the
+// worker is abandoned and the rest of the fleet takes over.
+type fatalStatusError struct{ msg string }
+
+func (e *fatalStatusError) Error() string { return e.msg }
+
+func (r *Remote) workerLoop(ctx context.Context, h *hostState, req montecarlo.Request, d *dispatch, maxAttempts int) {
+	var lastErr error
+	defer func() { d.loopExited(h.url, lastErr) }()
+	for {
+		h.mu.Lock()
+		dead := h.dead
+		h.mu.Unlock()
+		if dead {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("worker declared dead")
+			}
+			return
+		}
+		batch := d.next(r.opt.BatchSize)
+		if batch == nil {
+			return
+		}
+		accs, err := r.post(ctx, h.url, req, batch)
+		if err == nil {
+			h.mu.Lock()
+			h.failures = 0
+			h.mu.Unlock()
+			d.complete(batch, accs)
+			continue
+		}
+		lastErr = err
+		var fatal *fatalStatusError
+		if errors.As(err, &fatal) {
+			// A protocol-level rejection is this worker's problem — a
+			// version-skewed binary missing the kernel, or some other
+			// service squatting on the address. Abandon the worker and
+			// let the rest of the fleet take the batch; the run only
+			// fails if every worker rejects it.
+			d.requeue(batch, maxAttempts, err)
+			h.mu.Lock()
+			h.dead = true
+			h.mu.Unlock()
+			return
+		}
+		// Transport failure: hand the batch back for the fleet and
+		// decide whether this worker is still worth talking to.
+		d.requeue(batch, maxAttempts, err)
+		h.mu.Lock()
+		h.failures++
+		if !h.dead && h.failures >= r.opt.HostFailLimit {
+			h.dead = true
+		}
+		dead = h.dead
+		h.mu.Unlock()
+		if dead {
+			return
+		}
+	}
+}
+
+// post ships one shard batch to a worker and decodes the per-shard
+// accumulator states, positionally matching indices.
+func (r *Remote) post(ctx context.Context, host string, req montecarlo.Request, indices []int) ([][]montecarlo.Accumulator, error) {
+	job := ShardJob{Request: req, Indices: indices}
+	body, err := json.Marshal(job)
+	if err != nil {
+		return nil, &fatalStatusError{msg: fmt.Sprintf("marshal job: %v", err)}
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, host+PathShards, bytes.NewReader(body))
+	if err != nil {
+		return nil, &fatalStatusError{msg: fmt.Sprintf("build request: %v", err)}
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := r.opt.Client.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("post %s: %w", host, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return nil, &fatalStatusError{msg: fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))}
+		}
+		return nil, fmt.Errorf("post %s: %s: %s", host, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var sr ShardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("decode response from %s: %w", host, err)
+	}
+	if len(sr.Results) != len(indices) {
+		return nil, fmt.Errorf("worker %s returned %d results for %d shards", host, len(sr.Results), len(indices))
+	}
+	accs := make([][]montecarlo.Accumulator, len(indices))
+	for i, res := range sr.Results {
+		if res.Index != indices[i] {
+			return nil, fmt.Errorf("worker %s returned shard %d at position %d (want %d)", host, res.Index, i, indices[i])
+		}
+		if len(res.Accs) != req.Dim {
+			return nil, fmt.Errorf("worker %s returned %d components for shard %d (want %d)", host, len(res.Accs), res.Index, req.Dim)
+		}
+		accs[i] = make([]montecarlo.Accumulator, req.Dim)
+		for j, st := range res.Accs {
+			accs[i][j] = montecarlo.FromState(st)
+		}
+	}
+	return accs, nil
+}

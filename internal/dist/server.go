@@ -1,0 +1,129 @@
+package dist
+
+// The worker side: a small HTTP server around the shared kernel
+// registry. `cs serve -listen :port` runs one of these; any number of
+// coordinators may POST shard batches concurrently (the montecarlo
+// pool bounds per-request parallelism, the HTTP server provides
+// cross-request concurrency).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"carriersense/internal/montecarlo"
+)
+
+// Server is a shard worker: it evaluates ShardJob batches against the
+// kernel registry linked into the binary and serves health and stats
+// probes. The zero value is not usable; call NewServer.
+type Server struct {
+	mux   *http.ServeMux
+	start time.Time
+
+	requests atomic.Int64
+	shards   atomic.Int64
+	samples  atomic.Int64
+	failures atomic.Int64
+}
+
+// NewServer returns a ready-to-serve worker.
+func NewServer() *Server {
+	s := &Server{mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc(PathShards, s.handleShards)
+	s.mux.HandleFunc(PathHealthz, s.handleHealthz)
+	s.mux.HandleFunc(PathStats, s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+	var job ShardJob
+	if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
+		s.failures.Add(1)
+		http.Error(w, fmt.Sprintf("decode shard job: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := job.Validate(); err != nil {
+		s.failures.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	accs, err := montecarlo.EvaluateShards(job.Request, job.Indices)
+	if err != nil {
+		s.failures.Add(1)
+		// Unknown kernels and bad params are the caller's mistake, not
+		// a worker fault; report 400 so the coordinator fails fast
+		// instead of retrying elsewhere.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := ShardResponse{Results: make([]ShardResult, len(job.Indices))}
+	sampleCount := 0
+	for i, idx := range job.Indices {
+		states := make([]montecarlo.AccumulatorState, len(accs[i]))
+		for j, acc := range accs[i] {
+			states[j] = acc.State()
+		}
+		// Every component of a shard sees the same sample count; tally
+		// the first so /stats reports configurations, not components.
+		if len(accs[i]) > 0 {
+			sampleCount += accs[i][0].N()
+		}
+		resp.Results[i] = ShardResult{Index: idx, Accs: states}
+	}
+	s.shards.Add(int64(len(job.Indices)))
+	s.samples.Add(int64(sampleCount))
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.failures.Add(1)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Shards:        s.shards.Load(),
+		Samples:       s.samples.Load(),
+		Failures:      s.failures.Load(),
+		Kernels:       montecarlo.KernelNames(),
+	})
+}
+
+// ListenAndServe runs a worker on addr until the listener fails or the
+// process exits. ready, when non-nil, receives the bound address once
+// the listener is up (useful with ":0").
+func ListenAndServe(addr string, ready chan<- net.Addr) error {
+	if addr == "" {
+		return errors.New("dist: empty listen address")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: listen %s: %w", addr, err)
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	srv := &http.Server{Handler: NewServer(), ReadHeaderTimeout: 10 * time.Second}
+	return srv.Serve(ln)
+}

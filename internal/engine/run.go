@@ -27,8 +27,16 @@ type Options struct {
 	// it there too.
 	Scale string
 	// Parallel pins the sharded Monte Carlo worker pool width;
-	// 0 keeps GOMAXPROCS. Any width yields bit-identical results.
+	// 0 keeps GOMAXPROCS, negative is rejected. Any width yields
+	// bit-identical results.
 	Parallel int
+	// Executor, when non-nil, routes every kernel-based Monte Carlo
+	// estimation through it for the duration of the run — the seam the
+	// distributed shard executor (internal/dist, `cs run -workers`)
+	// plugs into. nil keeps the in-process pool. Results are
+	// bit-identical for any executor that honors the shard-order merge
+	// contract.
+	Executor montecarlo.Executor
 	// Sets are "k=v" parameter overrides applied in order.
 	Sets []string
 	// Grid are "k=v1,v2,..." axes expanded into a cross product of
@@ -136,9 +144,21 @@ func Run(ctx context.Context, name string, opts Options) ([]*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown scenario %q (try `cs list`)", name)
 	}
+	if opts.Parallel < 0 {
+		return nil, fmt.Errorf("engine: -parallel must be >= 1 (or 0 for GOMAXPROCS), got %d", opts.Parallel)
+	}
 	if opts.Parallel > 0 {
-		montecarlo.SetMaxWorkers(opts.Parallel)
-		defer montecarlo.SetMaxWorkers(0)
+		if err := montecarlo.SetMaxWorkers(opts.Parallel); err != nil {
+			return nil, err
+		}
+		defer montecarlo.ResetMaxWorkers()
+	}
+	if opts.Executor != nil {
+		// Kernel-routed estimators have no ctx parameter, so the
+		// executor hook receives context.Background(); bind the run's
+		// context here so cancellation reaches in-flight shard work.
+		montecarlo.SetExecutor(boundExecutor{ctx: ctx, inner: opts.Executor})
+		defer montecarlo.SetExecutor(nil)
 	}
 	scale := opts.Scale
 	if scale == "" {
@@ -166,9 +186,10 @@ func Run(ctx context.Context, name string, opts Options) ([]*Result, error) {
 		if now.IsZero() {
 			now = time.Now()
 		}
-		runDir = filepath.Join(opts.OutDir, now.UTC().Format("20060102-150405")+"-"+sc.Name)
-		if err := os.MkdirAll(runDir, 0o755); err != nil {
-			return nil, fmt.Errorf("create run dir: %w", err)
+		var err error
+		runDir, err = makeRunDir(opts.OutDir, now.UTC().Format("20060102-150405")+"-"+sc.Name)
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -191,6 +212,44 @@ func Run(ctx context.Context, name string, opts Options) ([]*Result, error) {
 	return results, nil
 }
 
+// boundExecutor forwards estimations to the configured executor under
+// the run's context instead of the context.Background() the kernel
+// entry points pass, so canceling engine.Run cancels distributed work.
+type boundExecutor struct {
+	ctx   context.Context
+	inner montecarlo.Executor
+}
+
+// EstimateVec implements montecarlo.Executor.
+func (b boundExecutor) EstimateVec(_ context.Context, req montecarlo.Request) ([]montecarlo.Accumulator, error) {
+	return b.inner.EstimateVec(b.ctx, req)
+}
+
+// makeRunDir creates a fresh run directory under parent. The stamp is
+// second-resolution, so two runs of the same scenario within one
+// second would land on the same path and silently overwrite each
+// other's artifacts; os.Mkdir detects the collision atomically and a
+// serial suffix (-2, -3, ...) keeps every run's artifacts intact.
+func makeRunDir(parent, stamp string) (string, error) {
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return "", fmt.Errorf("create artifact dir: %w", err)
+	}
+	for serial := 1; serial <= 10000; serial++ {
+		dir := filepath.Join(parent, stamp)
+		if serial > 1 {
+			dir = filepath.Join(parent, fmt.Sprintf("%s-%d", stamp, serial))
+		}
+		err := os.Mkdir(dir, 0o755)
+		if err == nil {
+			return dir, nil
+		}
+		if !os.IsExist(err) {
+			return "", fmt.Errorf("create run dir: %w", err)
+		}
+	}
+	return "", fmt.Errorf("create run dir: %s: too many runs with this stamp", stamp)
+}
+
 func variantSuffix(point GridPoint) string {
 	if len(point) == 0 {
 		return ""
@@ -198,7 +257,20 @@ func variantSuffix(point GridPoint) string {
 	return " [" + point.Label() + "]"
 }
 
-func runVariant(ctx context.Context, sc Scenario, point GridPoint, scale string, opts Options) (*Result, error) {
+func runVariant(ctx context.Context, sc Scenario, point GridPoint, scale string, opts Options) (res *Result, err error) {
+	// Kernel-routed estimations report executor failures (an
+	// unreachable worker fleet, an exhausted shard retry budget) as a
+	// typed panic so the model's estimators keep value-returning
+	// signatures; surface them as ordinary errors here.
+	defer func() {
+		if r := recover(); r != nil {
+			if execErr, ok := r.(*montecarlo.ExecError); ok {
+				res, err = nil, execErr
+				return
+			}
+			panic(r)
+		}
+	}()
 	params := sc.NewParams()
 	if opts.Seed != "" && HasParam(params, "seed") {
 		if err := SetParam(params, "seed", opts.Seed); err != nil {
@@ -225,7 +297,7 @@ func runVariant(ctx context.Context, sc Scenario, point GridPoint, scale string,
 		}
 	}
 
-	res := &Result{
+	res = &Result{
 		Scenario: sc.Name,
 		Variant:  point.Label(),
 		Scale:    scale,

@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunDirCollisionGetsSerialSuffix(t *testing.T) {
+	// Two runs of the same scenario within one second must not
+	// overwrite each other's artifacts: the second-resolution stamp
+	// collides and the serial suffix disambiguates.
+	registerStub(t, "stub-collision")
+	dir := t.TempDir()
+	now := time.Date(2026, 7, 30, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		if _, err := Run(context.Background(), "stub-collision", Options{
+			Scale: "smoke", OutDir: dir, Now: now,
+		}); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	for _, want := range []string{
+		"20260730-120000-stub-collision",
+		"20260730-120000-stub-collision-2",
+		"20260730-120000-stub-collision-3",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, want, "output.txt")); err != nil {
+			entries, _ := os.ReadDir(dir)
+			var names []string
+			for _, e := range entries {
+				names = append(names, e.Name())
+			}
+			t.Errorf("missing %s/output.txt; have %v", want, names)
+		}
+	}
+}
+
+func TestMakeRunDirErrorsOnUncreatableParent(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := makeRunDir(filepath.Join(file, "child"), "stamp"); err == nil {
+		t.Error("makeRunDir under a regular file succeeded")
+	}
+}

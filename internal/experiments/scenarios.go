@@ -138,7 +138,9 @@ func init() {
 		Name:        "robustness",
 		Description: "Fixed-threshold efficiency swept across alpha and shadowing environments",
 		Figures:     "§3.2.5 robustness claim (T3)",
-		NewParams:   func() any { return &RobustnessParams{Alphas: []float64{2, 2.5, 3, 3.5, 4}, Sigmas: []float64{4, 8, 12}} },
+		NewParams: func() any {
+			return &RobustnessParams{Alphas: []float64{2, 2.5, 3, 3.5, 4}, Sigmas: []float64{4, 8, 12}}
+		},
 		Run: func(rc *engine.RunContext) error {
 			p := *rc.Params.(*RobustnessParams)
 			pts := RobustnessSweep(p.Alphas, p.Sigmas, scale(rc))

@@ -1,0 +1,281 @@
+package montecarlo
+
+// The kernel registry and executor seam: the machinery that makes a
+// Monte Carlo estimation shippable to another process. A Kernel is a
+// named, registered integrand factory — given serialized parameters it
+// rebuilds the evaluation closure — so a shard of work is fully
+// described by (kernel name, params JSON, seed, sample budget, shard
+// index). Both the coordinator and the worker link the same registry
+// (they are the same binary), which is what lets the distributed path
+// reproduce shard accumulators bit-identically.
+//
+// The Executor interface is the scale-out seam: the default local
+// executor evaluates the whole shard plan in-process with the
+// RunShards pool; internal/dist provides a Remote executor that farms
+// shards out over HTTP and merges the returned accumulator states in
+// shard order. engine.Run installs the configured executor for the
+// duration of a run, so every scenario distributes without
+// per-scenario changes.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"carriersense/internal/rng"
+)
+
+// EvalFunc evaluates one sample of a vector-valued integrand: it fills
+// out (one slot per component) using draws from src. The slice is
+// zeroed before every call, so indicator components may be left unset.
+type EvalFunc func(src *rng.Source, out []float64)
+
+// KernelFactory rebuilds an EvalFunc from serialized parameters.
+type KernelFactory func(params json.RawMessage) (EvalFunc, error)
+
+var (
+	kernelMu sync.RWMutex
+	kernels  = map[string]KernelFactory{}
+)
+
+// RegisterKernel adds a named integrand factory to the global registry.
+// Registration happens in init() (internal/core registers the model's
+// estimators); duplicates and empty names panic so a broken catalog
+// fails loudly at startup.
+func RegisterKernel(name string, factory KernelFactory) {
+	if name == "" || factory == nil {
+		panic("montecarlo: invalid kernel registration")
+	}
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	if _, dup := kernels[name]; dup {
+		panic(fmt.Sprintf("montecarlo: duplicate kernel %q", name))
+	}
+	kernels[name] = factory
+}
+
+// KernelNames returns every registered kernel name, sorted.
+func KernelNames() []string {
+	kernelMu.RLock()
+	defer kernelMu.RUnlock()
+	out := make([]string, 0, len(kernels))
+	for name := range kernels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildKernel resolves a registered kernel and rebuilds its evaluation
+// function from the serialized parameters.
+func BuildKernel(name string, params json.RawMessage) (EvalFunc, error) {
+	kernelMu.RLock()
+	factory, ok := kernels[name]
+	kernelMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("montecarlo: unknown kernel %q", name)
+	}
+	fn, err := factory(params)
+	if err != nil {
+		return nil, fmt.Errorf("montecarlo: kernel %q: %w", name, err)
+	}
+	return fn, nil
+}
+
+// Request is one complete, serializable estimation: a registered
+// kernel, its parameters, and the sample plan. The shard plan it
+// implies — PlanShards(Seed, Samples) — is machine-independent, so any
+// executor that evaluates every shard and merges in shard order
+// reproduces the in-process result exactly.
+type Request struct {
+	Kernel  string          `json:"kernel"`
+	Params  json.RawMessage `json:"params,omitempty"`
+	Seed    uint64          `json:"seed"`
+	Samples int             `json:"samples"`
+	Dim     int             `json:"dim"`
+}
+
+// Validate reports whether the request is well-formed (it does not
+// check that the kernel is registered; BuildKernel does).
+func (r Request) Validate() error {
+	if r.Kernel == "" {
+		return fmt.Errorf("montecarlo: request missing kernel name")
+	}
+	if r.Samples < 1 {
+		return fmt.Errorf("montecarlo: request wants %d samples (must be >= 1)", r.Samples)
+	}
+	if r.Dim < 1 {
+		return fmt.Errorf("montecarlo: request dim %d (must be >= 1)", r.Dim)
+	}
+	return nil
+}
+
+// Executor evaluates a Request's full shard plan and returns one
+// merged Accumulator per component. Implementations must merge shard
+// accumulators in shard order so results are bit-identical to the
+// in-process path.
+type Executor interface {
+	EstimateVec(ctx context.Context, req Request) ([]Accumulator, error)
+}
+
+var (
+	execMu      sync.RWMutex
+	currentExec Executor = localExecutor{}
+)
+
+// SetExecutor installs the executor used by every kernel-routed
+// estimation. nil restores the in-process default. engine.Run installs
+// the CLI-configured executor for the duration of a run.
+func SetExecutor(e Executor) {
+	execMu.Lock()
+	defer execMu.Unlock()
+	if e == nil {
+		currentExec = localExecutor{}
+		return
+	}
+	currentExec = e
+}
+
+// CurrentExecutor returns the installed executor.
+func CurrentExecutor() Executor {
+	execMu.RLock()
+	defer execMu.RUnlock()
+	return currentExec
+}
+
+// localExecutor is the default in-process executor: the whole shard
+// plan evaluated by the RunShards pool.
+type localExecutor struct{}
+
+func (localExecutor) EstimateVec(ctx context.Context, req Request) ([]Accumulator, error) {
+	return RunRequest(ctx, req)
+}
+
+// RunRequest evaluates a request in-process: every shard through the
+// worker pool, merged in shard order. It backs both the default local
+// executor and dist.Local.
+func RunRequest(ctx context.Context, req Request) ([]Accumulator, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	fn, err := BuildKernel(req.Kernel, req.Params)
+	if err != nil {
+		return nil, err
+	}
+	shards := PlanShards(req.Seed, req.Samples)
+	accs := make([][]Accumulator, len(shards))
+	RunShards(shards, func(s Shard) {
+		accs[s.Index] = evalShard(fn, s, req.Dim)
+	})
+	merged := make([]Accumulator, req.Dim)
+	for i := range accs {
+		for j := 0; j < req.Dim; j++ {
+			merged[j].Merge(accs[i][j])
+		}
+	}
+	return merged, nil
+}
+
+// EvaluateShards evaluates the kernel over the given shard indices
+// only, returning per-shard accumulators positionally (result[i]
+// corresponds to indices[i]). Indices must be duplicate-free: a
+// shard's random source is single-stream state, so evaluating the same
+// index twice in one pool sweep would race on it. This is the worker
+// server's entry point: the coordinator sends index batches and merges
+// the states itself.
+func EvaluateShards(req Request, indices []int) ([][]Accumulator, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	fn, err := BuildKernel(req.Kernel, req.Params)
+	if err != nil {
+		return nil, err
+	}
+	shards := PlanShards(req.Seed, req.Samples)
+	selected := make([]Shard, len(indices))
+	position := make(map[int]int, len(indices))
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(shards) {
+			return nil, fmt.Errorf("montecarlo: shard index %d out of range [0,%d)", idx, len(shards))
+		}
+		if _, dup := position[idx]; dup {
+			return nil, fmt.Errorf("montecarlo: duplicate shard index %d", idx)
+		}
+		selected[i] = shards[idx]
+		position[idx] = i
+	}
+	results := make([][]Accumulator, len(indices))
+	RunShards(selected, func(s Shard) {
+		results[position[s.Index]] = evalShard(fn, s, req.Dim)
+	})
+	return results, nil
+}
+
+// evalShard evaluates one shard of a dim-component integrand exactly
+// the way MeanVec does, so kernel-routed and closure-based estimations
+// produce bit-identical accumulators.
+func evalShard(fn EvalFunc, s Shard, dim int) []Accumulator {
+	accs := make([]Accumulator, dim)
+	out := make([]float64, dim)
+	for i := 0; i < s.N; i++ {
+		for j := range out {
+			out[j] = 0
+		}
+		fn(s.Src, out)
+		for j, v := range out {
+			accs[j].Add(v)
+		}
+	}
+	return accs
+}
+
+// ExecError is the panic value raised when a kernel-routed estimation
+// fails (an unreachable worker fleet, an unregistered kernel, bad
+// parameters). The core estimators keep plain value-returning
+// signatures — error plumbing through every closed-form helper would
+// obscure the math — so executor failures unwind as a typed panic that
+// engine.Run recovers into an ordinary error.
+type ExecError struct {
+	Kernel string
+	Err    error
+}
+
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("montecarlo: kernel %q: %v", e.Kernel, e.Err)
+}
+
+func (e *ExecError) Unwrap() error { return e.Err }
+
+// KernelMeanVec estimates the means of a registered vector-valued
+// kernel through the installed executor. Params must marshal to the
+// JSON the kernel's factory expects. Results are bit-identical to
+// MeanVec over the factory-built EvalFunc, at any executor.
+func KernelMeanVec(kernel string, params any, seed uint64, n, dim int) []Estimate {
+	raw, err := json.Marshal(params)
+	if err != nil {
+		panic(&ExecError{Kernel: kernel, Err: fmt.Errorf("marshal params: %w", err)})
+	}
+	req := Request{Kernel: kernel, Params: raw, Seed: seed, Samples: n, Dim: dim}
+	accs, err := CurrentExecutor().EstimateVec(context.Background(), req)
+	if err != nil {
+		panic(&ExecError{Kernel: kernel, Err: err})
+	}
+	if len(accs) != dim {
+		panic(&ExecError{Kernel: kernel, Err: fmt.Errorf("executor returned %d components, want %d", len(accs), dim)})
+	}
+	out := make([]Estimate, dim)
+	for j := range accs {
+		out[j] = accs[j].Estimate()
+	}
+	return out
+}
+
+// KernelMean is the scalar convenience over KernelMeanVec.
+func KernelMean(kernel string, params any, seed uint64, n int) Estimate {
+	return KernelMeanVec(kernel, params, seed, n, 1)[0]
+}

@@ -1,0 +1,192 @@
+package montecarlo
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"carriersense/internal/rng"
+)
+
+// The test kernel: a 2-component integrand with one serialized knob.
+type testKernelParams struct {
+	Offset float64 `json:"offset"`
+}
+
+func testKernelEval(offset float64) EvalFunc {
+	return func(src *rng.Source, out []float64) {
+		out[0] = src.Float64() + offset
+		out[1] = src.Normal(0, 1)
+	}
+}
+
+func init() {
+	RegisterKernel("test/vec", func(raw json.RawMessage) (EvalFunc, error) {
+		var p testKernelParams
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, err
+		}
+		return testKernelEval(p.Offset), nil
+	})
+}
+
+func TestAccumulatorStateRoundTrip(t *testing.T) {
+	// States must survive JSON transport bit-exactly: the distributed
+	// merge is only bit-identical to the local one if nothing rounds.
+	src := rng.New(99)
+	var acc Accumulator
+	for i := 0; i < 1000; i++ {
+		acc.Add(src.Normal(3, 7) * math.Pi)
+	}
+	data, err := json.Marshal(acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Accumulator
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != acc {
+		t.Errorf("round trip changed accumulator: %+v vs %+v", back, acc)
+	}
+	if back.Estimate() != acc.Estimate() {
+		t.Errorf("round trip changed estimate")
+	}
+	// FromState/State round-trip on tricky values.
+	for _, v := range []float64{0, math.Copysign(0, -1), math.Inf(1), math.SmallestNonzeroFloat64, 1e300} {
+		a := Accumulator{n: 3, mean: v, m2: v}
+		if got := FromState(a.State()); got != a && !(math.IsNaN(got.mean) && math.IsNaN(a.mean)) {
+			t.Errorf("FromState(State(%v)) = %+v", v, got)
+		}
+	}
+}
+
+func TestRunRequestMatchesMeanVec(t *testing.T) {
+	// The kernel-routed path and the closure path must produce
+	// bit-identical estimates: same shard plan, same eval, same merge
+	// order.
+	const n = 3*ShardSize + 217
+	want := MeanVec(42, n, 2, testKernelEval(1.5))
+	raw, _ := json.Marshal(testKernelParams{Offset: 1.5})
+	accs, err := RunRequest(context.Background(), Request{
+		Kernel: "test/vec", Params: raw, Seed: 42, Samples: n, Dim: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range accs {
+		if got := accs[j].Estimate(); got != want[j] {
+			t.Errorf("component %d: kernel path %+v != closure path %+v", j, got, want[j])
+		}
+	}
+	// And through the public KernelMeanVec entry point.
+	got := KernelMeanVec("test/vec", testKernelParams{Offset: 1.5}, 42, n, 2)
+	for j := range got {
+		if got[j] != want[j] {
+			t.Errorf("KernelMeanVec[%d] = %+v, want %+v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestEvaluateShardsMatchesFullPlan(t *testing.T) {
+	// Evaluating the plan shard-by-shard (the worker server's path) and
+	// merging in shard order must equal the in-process run.
+	const n = 4*ShardSize + 9
+	raw, _ := json.Marshal(testKernelParams{Offset: 0.25})
+	req := Request{Kernel: "test/vec", Params: raw, Seed: 7, Samples: n, Dim: 2}
+	want, err := RunRequest(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := ShardCount(n)
+	merged := make([]Accumulator, req.Dim)
+	// Evaluate in two scrambled batches to mimic out-of-order workers.
+	batches := [][]int{{3, 1}, {4, 0, 2}}
+	byIndex := make([][]Accumulator, count)
+	for _, batch := range batches {
+		accs, err := EvaluateShards(req, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, idx := range batch {
+			byIndex[idx] = accs[i]
+		}
+	}
+	for idx := 0; idx < count; idx++ {
+		for j := range merged {
+			merged[j].Merge(byIndex[idx][j])
+		}
+	}
+	for j := range merged {
+		if merged[j] != want[j] {
+			t.Errorf("component %d: shard-wise merge %+v != full plan %+v", j, merged[j], want[j])
+		}
+	}
+}
+
+func TestEvaluateShardsRejectsBadIndices(t *testing.T) {
+	raw, _ := json.Marshal(testKernelParams{})
+	req := Request{Kernel: "test/vec", Params: raw, Seed: 1, Samples: ShardSize, Dim: 2}
+	for _, bad := range [][]int{{-1}, {1}, {99}} {
+		if _, err := EvaluateShards(req, bad); err == nil {
+			t.Errorf("indices %v accepted for a 1-shard plan", bad)
+		}
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	good := Request{Kernel: "test/vec", Seed: 1, Samples: 10, Dim: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+	for _, bad := range []Request{
+		{Kernel: "", Samples: 10, Dim: 1},
+		{Kernel: "test/vec", Samples: 0, Dim: 1},
+		{Kernel: "test/vec", Samples: 10, Dim: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid request %+v accepted", bad)
+		}
+	}
+}
+
+func TestKernelMeanVecPanicsWithExecError(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic for unknown kernel")
+		}
+		var execErr *ExecError
+		if err, ok := r.(error); !ok || !errors.As(err, &execErr) {
+			t.Fatalf("panic value %v is not an ExecError", r)
+		}
+	}()
+	KernelMeanVec("test/definitely-not-registered", nil, 1, 10, 1)
+}
+
+func TestSetExecutorRoutesRequests(t *testing.T) {
+	defer SetExecutor(nil)
+	called := 0
+	SetExecutor(executorFunc(func(ctx context.Context, req Request) ([]Accumulator, error) {
+		called++
+		return RunRequest(ctx, req)
+	}))
+	want := MeanVec(5, ShardSize, 2, testKernelEval(0))
+	got := KernelMeanVec("test/vec", testKernelParams{}, 5, ShardSize, 2)
+	if called != 1 {
+		t.Errorf("executor called %d times", called)
+	}
+	for j := range got {
+		if got[j] != want[j] {
+			t.Errorf("routed estimate differs at %d", j)
+		}
+	}
+}
+
+type executorFunc func(ctx context.Context, req Request) ([]Accumulator, error)
+
+func (f executorFunc) EstimateVec(ctx context.Context, req Request) ([]Accumulator, error) {
+	return f(ctx, req)
+}

@@ -15,6 +15,7 @@
 package montecarlo
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -33,13 +34,20 @@ const ShardSize = 4096
 var maxWorkers atomic.Int64
 
 // SetMaxWorkers sets the worker pool width used by all estimators.
-// n <= 0 restores the default (GOMAXPROCS). The width affects only
-// scheduling, never results.
-func SetMaxWorkers(n int) {
-	if n < 0 {
-		n = 0
+// n must be >= 1; anything else is rejected with an error rather than
+// silently clamped (use ResetMaxWorkers to restore the GOMAXPROCS
+// default). The width affects only scheduling, never results.
+func SetMaxWorkers(n int) error {
+	if n < 1 {
+		return fmt.Errorf("montecarlo: worker pool width must be >= 1, got %d", n)
 	}
 	maxWorkers.Store(int64(n))
+	return nil
+}
+
+// ResetMaxWorkers restores the default pool width (GOMAXPROCS).
+func ResetMaxWorkers() {
+	maxWorkers.Store(0)
 }
 
 // Workers returns the effective worker pool width.

@@ -171,16 +171,20 @@ func TestPlanShardsFixedByBudget(t *testing.T) {
 func TestMeanInvariantUnderWorkerWidth(t *testing.T) {
 	// The determinism contract behind the engine's -parallel flag:
 	// worker width affects scheduling only, never the estimate.
-	defer SetMaxWorkers(0)
+	defer ResetMaxWorkers()
 	f := func(src *rng.Source) float64 { return src.Normal(0, 1) }
-	SetMaxWorkers(1)
+	if err := SetMaxWorkers(1); err != nil {
+		t.Fatal(err)
+	}
 	serial := Mean(42, 3*ShardSize+100, f)
 	vecSerial := MeanVec(42, 2*ShardSize+9, 2, func(src *rng.Source, out []float64) {
 		out[0] = src.Float64()
 		out[1] = src.Exp(1)
 	})
 	for _, workers := range []int{2, 8, 64} {
-		SetMaxWorkers(workers)
+		if err := SetMaxWorkers(workers); err != nil {
+			t.Fatal(err)
+		}
 		got := Mean(42, 3*ShardSize+100, f)
 		if got != serial {
 			t.Errorf("workers=%d: %+v != serial %+v", workers, got, serial)
@@ -198,12 +202,19 @@ func TestMeanInvariantUnderWorkerWidth(t *testing.T) {
 }
 
 func TestSetMaxWorkers(t *testing.T) {
-	defer SetMaxWorkers(0)
-	SetMaxWorkers(3)
+	defer ResetMaxWorkers()
+	if err := SetMaxWorkers(3); err != nil {
+		t.Fatal(err)
+	}
 	if Workers() != 3 {
 		t.Errorf("Workers() = %d, want 3", Workers())
 	}
-	SetMaxWorkers(0)
+	for _, bad := range []int{0, -1, -100} {
+		if err := SetMaxWorkers(bad); err == nil {
+			t.Errorf("SetMaxWorkers(%d) accepted", bad)
+		}
+	}
+	ResetMaxWorkers()
 	if Workers() < 1 {
 		t.Errorf("default Workers() = %d", Workers())
 	}

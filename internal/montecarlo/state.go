@@ -1,0 +1,64 @@
+package montecarlo
+
+// Accumulator wire serialization. The merge currency of the
+// distributed executor is the Welford accumulator state; floats travel
+// as IEEE-754 bit patterns so a state survives JSON transport with
+// zero rounding — the distributed merge is then bit-identical to the
+// local one by construction, not by printf precision.
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// AccumulatorState is the serializable form of an Accumulator. Mean
+// and M2 are math.Float64bits images of the running mean and sum of
+// squared deviations.
+type AccumulatorState struct {
+	N    int    `json:"n"`
+	Mean uint64 `json:"mean"`
+	M2   uint64 `json:"m2"`
+}
+
+// State captures the accumulator's exact state.
+func (a Accumulator) State() AccumulatorState {
+	return AccumulatorState{
+		N:    a.n,
+		Mean: math.Float64bits(a.mean),
+		M2:   math.Float64bits(a.m2),
+	}
+}
+
+// FromState reconstructs the accumulator a State was captured from.
+func FromState(st AccumulatorState) Accumulator {
+	return Accumulator{
+		n:    st.N,
+		mean: math.Float64frombits(st.Mean),
+		m2:   math.Float64frombits(st.M2),
+	}
+}
+
+// MarshalJSON implements json.Marshaler via AccumulatorState.
+func (a Accumulator) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.State())
+}
+
+// UnmarshalJSON implements json.Unmarshaler via AccumulatorState.
+func (a *Accumulator) UnmarshalJSON(data []byte) error {
+	var st AccumulatorState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	*a = FromState(st)
+	return nil
+}
+
+// ShardCount returns the number of shards PlanShards derives for a
+// sample budget — what a coordinator needs to schedule work without
+// materializing the plan's random sources.
+func ShardCount(total int) int {
+	if total <= 0 {
+		return 0
+	}
+	return (total + ShardSize - 1) / ShardSize
+}
