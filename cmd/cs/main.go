@@ -26,7 +26,12 @@ import (
 	"io"
 	"net"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
+	"carriersense/internal/cache"
 	"carriersense/internal/dist"
 	"carriersense/internal/engine"
 	_ "carriersense/internal/experiments" // registers the scenario catalog
@@ -48,6 +53,8 @@ func main() {
 		err = cmdAll(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "cache":
+		err = cmdCache(os.Args[2:])
 	case "help", "-h", "--help":
 		if len(os.Args) > 2 {
 			err = cmdHelp(os.Args[2])
@@ -73,6 +80,7 @@ commands:
   cs run <scenario> [...]   run one scenario
   cs all [...]              run every scenario
   cs serve [-listen :8031]  run a distributed shard worker
+  cs cache stats|clear      inspect or empty the persistent result cache
   cs help <scenario>        describe one scenario and its parameters
 
 run/all flags:
@@ -83,6 +91,13 @@ run/all flags:
   -workers LIST  distribute Monte Carlo shards over cs serve workers
                  (comma-separated host:port list); results are
                  bit-identical to a local run at any fleet size
+  -cache         serve repeated kernel estimations from the result
+                 cache (bit-identical to evaluating); persists across
+                 runs under the cache directory
+  -cache-dir DIR persistent cache location (default: the user cache
+                 dir, e.g. ~/.cache/carriersense)
+  -cpuprofile F  write a CPU profile of the run to F (go tool pprof)
+  -memprofile F  write a heap profile at the end of the run to F
   -out DIR       write artifacts (output.txt, result.json, *.csv) into a
                  timestamped run directory under DIR
   -quiet         suppress the live text report on stdout
@@ -105,17 +120,30 @@ func (m *multiFlag) Set(v string) error {
 	return nil
 }
 
+// runConfig is the fully-resolved state of one run/all invocation.
+type runConfig struct {
+	opts       engine.Options
+	cache      *cache.Executor // non-nil when -cache is set
+	cpuProfile string
+	memProfile string
+}
+
 // runOptions binds the shared run/all flags onto a FlagSet. After
-// fs.Parse, finish() completes and returns the engine options.
+// fs.Parse, finish() completes and returns the run configuration.
 // withSets adds the per-scenario -set/-grid flags, which only make
 // sense when running a single scenario.
-func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (engine.Options, error)) {
-	var opts engine.Options
+func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, error)) {
+	var cfg runConfig
+	opts := &cfg.opts
 	var sets, grid multiFlag
 	fs.StringVar(&opts.Seed, "seed", "", "override the scenario's Seed parameter")
 	fs.StringVar(&opts.Scale, "scale", "bench", "sampling effort: smoke, bench, or full")
 	fs.IntVar(&opts.Parallel, "parallel", 0, "worker pool width (0 = GOMAXPROCS)")
 	workers := fs.String("workers", "", "distribute shards over cs serve workers (host:port,host:port,...)")
+	useCache := fs.Bool("cache", false, "serve repeated kernel estimations from the persistent result cache")
+	cacheDir := fs.String("cache-dir", "", "persistent cache directory (default: user cache dir)")
+	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file")
 	fs.StringVar(&opts.OutDir, "out", "", "artifact directory (empty = stdout only)")
 	if withSets {
 		fs.Var(&sets, "set", "parameter override k=v (repeatable)")
@@ -123,28 +151,120 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (engine.Options,
 	}
 	quiet := fs.Bool("quiet", false, "suppress the live text report")
 	fs.Usage = func() { usage(fs.Output()) }
-	return func() (engine.Options, error) {
+	return func() (runConfig, error) {
 		opts.Sets = sets
 		opts.Grid = grid
 		if !*quiet {
 			opts.Stdout = os.Stdout
 		}
 		if opts.Parallel < 0 {
-			return opts, fmt.Errorf("-parallel must be >= 1 (or 0 for the GOMAXPROCS default), got %d", opts.Parallel)
+			return cfg, fmt.Errorf("-parallel must be >= 1 (or 0 for the GOMAXPROCS default), got %d", opts.Parallel)
 		}
 		if *workers != "" {
 			hosts, err := dist.ParseWorkerList(*workers)
 			if err != nil {
-				return opts, err
+				return cfg, err
 			}
 			remote, err := dist.NewRemote(hosts)
 			if err != nil {
-				return opts, err
+				return cfg, err
 			}
 			opts.Executor = remote
 		}
-		return opts, nil
+		if *useCache {
+			dir, err := resolveCacheDir(*cacheDir)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.cache = cache.New(opts.Executor, cache.Options{Dir: dir})
+			opts.Executor = cfg.cache
+		} else if *cacheDir != "" {
+			return cfg, fmt.Errorf("-cache-dir requires -cache")
+		}
+		return cfg, nil
 	}
+}
+
+// resolveCacheDir picks the persistent cache location: the explicit
+// flag, or <user cache dir>/carriersense.
+func resolveCacheDir(flagDir string) (string, error) {
+	if flagDir != "" {
+		return flagDir, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("no user cache dir (%v); pass -cache-dir", err)
+	}
+	return filepath.Join(base, "carriersense"), nil
+}
+
+// startProfiles starts the requested pprof profiles and returns a stop
+// function that finishes them.
+func startProfiles(cfg runConfig) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cfg.cpuProfile != "" {
+		cpuFile, err = os.Create(cfg.cpuProfile)
+		if err != nil {
+			return nil, fmt.Errorf("create -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if cfg.memProfile != "" {
+			f, err := os.Create(cfg.memProfile)
+			if err != nil {
+				return fmt.Errorf("create -memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the end-of-run live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
+
+// runAndReport executes fn between profile start/stop and, unless the
+// run is quiet, reports Monte Carlo throughput (and cache
+// effectiveness when -cache is on).
+func runAndReport(cfg runConfig, fn func() error) error {
+	stop, err := startProfiles(cfg)
+	if err != nil {
+		return err
+	}
+	samples0 := montecarlo.EvaluatedSamples()
+	start := time.Now()
+	runErr := fn()
+	elapsed := time.Since(start)
+	if err := stop(); err != nil && runErr == nil {
+		runErr = err
+	}
+	// Throughput and cache diagnostics go to stderr: stdout stays
+	// byte-stable for a fixed seed (the determinism contract users
+	// check with `cs run ... > file && cmp`), and timing never is.
+	if cfg.opts.Stdout != nil {
+		if n := montecarlo.EvaluatedSamples() - samples0; n > 0 && elapsed > 0 {
+			rate := float64(n) / elapsed.Seconds()
+			fmt.Fprintf(os.Stderr, "evaluated %d MC samples in %s (%.3gM samples/sec)\n",
+				n, elapsed.Round(time.Millisecond), rate/1e6)
+		}
+		if cfg.cache != nil {
+			st := cfg.cache.Stats()
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d disk hits, %d misses (%d entries in memory)\n",
+				st.Hits, st.DiskHits, st.Misses, st.Entries)
+		}
+	}
+	return runErr
 }
 
 func cmdList(args []string) error {
@@ -195,12 +315,51 @@ func cmdRun(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	opts, err := finish()
+	cfg, err := finish()
 	if err != nil {
 		return err
 	}
-	_, err = engine.Run(context.Background(), name, opts)
-	return err
+	return runAndReport(cfg, func() error {
+		_, err := engine.Run(context.Background(), name, cfg.opts)
+		return err
+	})
+}
+
+// cmdCache inspects or empties the persistent result cache used by
+// `cs run -cache` / `cs all -cache`.
+func cmdCache(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: cs cache stats|clear [-cache-dir DIR]")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("cache "+sub, flag.ExitOnError)
+	cacheDir := fs.String("cache-dir", "", "persistent cache directory (default: user cache dir)")
+	fs.Usage = func() { usage(fs.Output()) }
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	dir, err := resolveCacheDir(*cacheDir)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "stats":
+		st, err := cache.StatDir(dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cache dir: %s\nentries:   %d\nsize:      %d bytes\n", st.Dir, st.Entries, st.Bytes)
+		return nil
+	case "clear":
+		removed, err := cache.ClearDir(dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("removed %d cache entries from %s\n", removed, dir)
+		return nil
+	default:
+		return fmt.Errorf("unknown cache command %q (want stats or clear)", sub)
+	}
 }
 
 // cmdServe runs a distributed shard worker: an HTTP server that
@@ -242,25 +401,27 @@ func cmdAll(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts, err := finish()
+	cfg, err := finish()
 	if err != nil {
 		return err
 	}
-	for _, sc := range engine.Scenarios() {
-		// The report scenario re-runs the whole catalog; running it
-		// inside `cs all` would execute everything twice.
-		if sc.Name == "report" {
-			continue
+	return runAndReport(cfg, func() error {
+		for _, sc := range engine.Scenarios() {
+			// The report scenario re-runs the whole catalog; running it
+			// inside `cs all` would execute everything twice.
+			if sc.Name == "report" {
+				continue
+			}
+			if cfg.opts.Stdout != nil {
+				fmt.Fprintf(cfg.opts.Stdout, "=== %s ===\n", sc.Name)
+			}
+			if _, err := engine.Run(context.Background(), sc.Name, cfg.opts); err != nil {
+				return err
+			}
+			if cfg.opts.Stdout != nil {
+				fmt.Fprintln(cfg.opts.Stdout)
+			}
 		}
-		if opts.Stdout != nil {
-			fmt.Fprintf(opts.Stdout, "=== %s ===\n", sc.Name)
-		}
-		if _, err := engine.Run(context.Background(), sc.Name, opts); err != nil {
-			return err
-		}
-		if opts.Stdout != nil {
-			fmt.Fprintln(opts.Stdout)
-		}
-	}
-	return nil
+		return nil
+	})
 }

@@ -1,0 +1,385 @@
+// Package cache provides a caching montecarlo.Executor: estimation
+// results keyed by the full identity of the request — (kernel, params
+// JSON, seed, samples, dim) — and served as bit-exact stored
+// accumulator states on repeat. It wraps any inner executor (the
+// in-process pool or a dist.Remote worker fleet), so `cs all`
+// re-running the catalog, Table2's threshold search revisiting grid
+// points, and repeated CLI runs stop re-evaluating Monte Carlo work
+// they already have.
+//
+// Correctness: the merge currency is montecarlo.AccumulatorState —
+// IEEE-754 bit patterns — so a cache hit reproduces the inner
+// executor's result exactly, bit for bit. The key covers every input
+// that determines the result (the shard plan is a pure function of
+// seed and samples; the integrand is a pure function of kernel name
+// and params JSON), so a hit can never serve stale or mismatched
+// estimates. Params JSON comes from deterministic struct marshaling,
+// giving byte-stable keys per call site.
+//
+// The in-memory layer is a bounded LRU. An optional directory adds a
+// persistent second layer (one JSON file per entry, written
+// atomically) so results survive across processes — this is what
+// makes a second `cs all -cache` run mostly free.
+package cache
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"carriersense/internal/montecarlo"
+)
+
+// DefaultMaxEntries bounds the in-memory LRU when Options.MaxEntries
+// is zero. An entry is dim accumulator states (~dozens of bytes each),
+// so the default is a few hundred KB at most.
+const DefaultMaxEntries = 1024
+
+// Options configure a caching executor. The zero value selects an
+// in-memory-only cache with the default LRU bound.
+type Options struct {
+	// MaxEntries bounds the in-memory LRU; 0 means DefaultMaxEntries.
+	MaxEntries int
+	// Dir, when non-empty, persists entries as JSON files under this
+	// directory and consults it on in-memory misses. The directory is
+	// created on first write. Disk entries are not LRU-bounded; `cs
+	// cache clear` empties them.
+	Dir string
+}
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits       int64 // served from memory
+	DiskHits   int64 // served from the persistent layer
+	Misses     int64 // evaluated by the inner executor
+	Evictions  int64 // LRU evictions
+	WriteFails int64 // best-effort disk writes that failed
+	Entries    int   // current in-memory entry count
+}
+
+// Executor is a caching montecarlo.Executor. Safe for concurrent use;
+// concurrent misses on the same key may each evaluate (the results are
+// bit-identical, so the duplicate store is harmless).
+type Executor struct {
+	inner montecarlo.Executor
+	max   int
+	dir   string
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	stats   Stats
+}
+
+// entry is one cached result.
+type entry struct {
+	key    string
+	states []montecarlo.AccumulatorState
+}
+
+// localExecutor evaluates in-process; the default inner executor.
+type localExecutor struct{}
+
+func (localExecutor) EstimateVec(ctx context.Context, req montecarlo.Request) ([]montecarlo.Accumulator, error) {
+	return montecarlo.RunRequest(ctx, req)
+}
+
+// New builds a caching executor around inner. A nil inner uses the
+// in-process pool.
+func New(inner montecarlo.Executor, opts Options) *Executor {
+	if inner == nil {
+		inner = localExecutor{}
+	}
+	max := opts.MaxEntries
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	return &Executor{
+		inner:   inner,
+		max:     max,
+		dir:     opts.Dir,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+	}
+}
+
+// KeyEpoch versions the cache key space. The request fields cover
+// every *runtime* input of an estimation, but the kernel numerics are
+// compiled in: a code change that alters what a kernel computes (a
+// different shadowing formula, a reordered draw, a new path-gain
+// specialization) would otherwise let a new binary serve a previous
+// binary's persisted bit patterns. Bump this constant with any such
+// change; old persistent entries then miss cleanly instead of lying.
+const KeyEpoch = 1
+
+// Key returns the cache key of a request: a SHA-256 over KeyEpoch and
+// every request field that determines the estimation result.
+func Key(req montecarlo.Request) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "epoch%d", KeyEpoch)
+	h.Write([]byte{0})
+	h.Write([]byte(req.Kernel))
+	h.Write([]byte{0})
+	h.Write(req.Params)
+	h.Write([]byte{0})
+	var tail [24]byte
+	binary.LittleEndian.PutUint64(tail[0:], req.Seed)
+	binary.LittleEndian.PutUint64(tail[8:], uint64(req.Samples))
+	binary.LittleEndian.PutUint64(tail[16:], uint64(req.Dim))
+	h.Write(tail[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// EstimateVec implements montecarlo.Executor: memory, then disk, then
+// the inner executor, storing fresh results in both layers.
+func (e *Executor) EstimateVec(ctx context.Context, req montecarlo.Request) ([]montecarlo.Accumulator, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	key := Key(req)
+	if states, ok := e.lookup(key); ok {
+		return fromStates(states), nil
+	}
+	if states, ok := e.loadDisk(key, req); ok {
+		e.mu.Lock()
+		e.stats.DiskHits++
+		e.mu.Unlock()
+		e.store(key, states)
+		return fromStates(states), nil
+	}
+	accs, err := e.inner.EstimateVec(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(accs) != req.Dim {
+		return nil, fmt.Errorf("cache: inner executor returned %d components, want %d", len(accs), req.Dim)
+	}
+	e.mu.Lock()
+	e.stats.Misses++
+	e.mu.Unlock()
+	states := toStates(accs)
+	e.store(key, states)
+	e.saveDisk(key, req, states)
+	return accs, nil
+}
+
+// lookup serves an in-memory hit and refreshes its LRU position.
+func (e *Executor) lookup(key string) ([]montecarlo.AccumulatorState, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e.lru.MoveToFront(el)
+	e.stats.Hits++
+	return el.Value.(*entry).states, true
+}
+
+// store inserts (or refreshes) an entry and enforces the LRU bound.
+func (e *Executor) store(key string, states []montecarlo.AccumulatorState) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.entries[key]; ok {
+		e.lru.MoveToFront(el)
+		el.Value.(*entry).states = states
+		return
+	}
+	e.entries[key] = e.lru.PushFront(&entry{key: key, states: states})
+	for e.lru.Len() > e.max {
+		back := e.lru.Back()
+		e.lru.Remove(back)
+		delete(e.entries, back.Value.(*entry).key)
+		e.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (e *Executor) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.Entries = e.lru.Len()
+	return s
+}
+
+func toStates(accs []montecarlo.Accumulator) []montecarlo.AccumulatorState {
+	states := make([]montecarlo.AccumulatorState, len(accs))
+	for i, a := range accs {
+		states[i] = a.State()
+	}
+	return states
+}
+
+func fromStates(states []montecarlo.AccumulatorState) []montecarlo.Accumulator {
+	accs := make([]montecarlo.Accumulator, len(states))
+	for i, st := range states {
+		accs[i] = montecarlo.FromState(st)
+	}
+	return accs
+}
+
+// diskEntry is the persistent form of one cached result. The request
+// fields are stored alongside the states and verified on load, so a
+// hash collision or a truncated/foreign file degrades to a miss, never
+// to a wrong answer.
+type diskEntry struct {
+	Kernel  string                        `json:"kernel"`
+	Params  json.RawMessage               `json:"params,omitempty"`
+	Seed    uint64                        `json:"seed"`
+	Samples int                           `json:"samples"`
+	Dim     int                           `json:"dim"`
+	States  []montecarlo.AccumulatorState `json:"states"`
+}
+
+func (e *Executor) diskPath(key string) string {
+	return filepath.Join(e.dir, key+".json")
+}
+
+// loadDisk consults the persistent layer; any mismatch or error is a
+// miss.
+func (e *Executor) loadDisk(key string, req montecarlo.Request) ([]montecarlo.AccumulatorState, bool) {
+	if e.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(e.diskPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var de diskEntry
+	if err := json.Unmarshal(data, &de); err != nil {
+		return nil, false
+	}
+	if de.Kernel != req.Kernel || de.Seed != req.Seed ||
+		de.Samples != req.Samples || de.Dim != req.Dim ||
+		!bytes.Equal(de.Params, req.Params) || len(de.States) != req.Dim {
+		return nil, false
+	}
+	return de.States, true
+}
+
+// saveDisk persists an entry best-effort (a cache write failure must
+// not fail the run); failures are counted in Stats.WriteFails.
+func (e *Executor) saveDisk(key string, req montecarlo.Request, states []montecarlo.AccumulatorState) {
+	if e.dir == "" {
+		return
+	}
+	err := func() error {
+		if err := os.MkdirAll(e.dir, 0o755); err != nil {
+			return err
+		}
+		data, err := json.Marshal(diskEntry{
+			Kernel:  req.Kernel,
+			Params:  req.Params,
+			Seed:    req.Seed,
+			Samples: req.Samples,
+			Dim:     req.Dim,
+			States:  states,
+		})
+		if err != nil {
+			return err
+		}
+		tmp, err := os.CreateTemp(e.dir, "."+key+".tmp-*")
+		if err != nil {
+			return err
+		}
+		if _, err := tmp.Write(append(data, '\n')); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		return os.Rename(tmp.Name(), e.diskPath(key))
+	}()
+	if err != nil {
+		e.mu.Lock()
+		e.stats.WriteFails++
+		e.mu.Unlock()
+	}
+}
+
+// isEntryName reports whether a file name is a cache-owned entry:
+// <64 hex digits>.json, exactly what saveDisk writes. StatDir and
+// ClearDir touch nothing else, so pointing -cache-dir at a directory
+// with unrelated JSON files (artifacts, bench snapshots) is safe.
+func isEntryName(name string) bool {
+	const hexLen = sha256.Size * 2
+	if len(name) != hexLen+len(".json") || filepath.Ext(name) != ".json" {
+		return false
+	}
+	for _, r := range name[:hexLen] {
+		switch {
+		case r >= '0' && r <= '9', r >= 'a' && r <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// DirStats summarizes a persistent cache directory.
+type DirStats struct {
+	Dir     string
+	Entries int
+	Bytes   int64
+}
+
+// StatDir reports the entry count and total size of a persistent cache
+// directory. A missing directory is an empty cache, not an error.
+func StatDir(dir string) (DirStats, error) {
+	st := DirStats{Dir: dir}
+	items, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return st, err
+	}
+	for _, it := range items {
+		if it.IsDir() || !isEntryName(it.Name()) {
+			continue
+		}
+		info, err := it.Info()
+		if err != nil {
+			continue
+		}
+		st.Entries++
+		st.Bytes += info.Size()
+	}
+	return st, nil
+}
+
+// ClearDir removes every cache entry in a persistent cache directory.
+// It returns the number of entries removed. Only cache-owned entry
+// files (hex key + .json) are touched.
+func ClearDir(dir string) (int, error) {
+	items, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, it := range items {
+		if it.IsDir() || !isEntryName(it.Name()) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, it.Name())); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}

@@ -93,25 +93,9 @@ type Fairness struct {
 
 // fairnessEval builds the fairness integrand (Jain index plus the two
 // starvation indicators); the core/fairness kernel rebuilds it on
-// workers.
+// workers. The integrand is the fused pointEval sampler.
 func (m *Model) fairnessEval(rmax, d, dThresh float64) montecarlo.EvalFunc {
-	pThresh := m.ThresholdPower(dThresh)
-	return func(src *rng.Source, out []float64) {
-		c := m.SampleConfig(src, rmax, d)
-		x1 := m.CCarrierSense(c, 1, pThresh)
-		x2 := m.CCarrierSense(c, 2, pThresh)
-		if x1+x2 > 0 {
-			out[0] = (x1 + x2) * (x1 + x2) / (2 * (x1*x1 + x2*x2))
-		} else {
-			out[0] = 1
-		}
-		if m.StarvedUnderConcurrency(c, 1, StarvationFraction) {
-			out[1] = 1
-		}
-		if !m.Defers(c, pThresh) && m.StarvedUnderConcurrency(c, 1, StarvationFraction) {
-			out[2] = 1
-		}
-	}
+	return m.newPointEval(rmax, d, dThresh).fairnessSample
 }
 
 // EstimateFairness estimates the fairness metrics with n samples.
@@ -184,19 +168,10 @@ func (m *Model) EstimateShadowingExample(seed uint64, n int, rmax, d, dThresh fl
 
 // badSNREval builds the §3.4 indicator integrand: spurious concurrency
 // leaving the receiver below 0 dB SNR. The core/bad-snr kernel
-// rebuilds it on workers.
+// rebuilds it on workers. The integrand is the fused pointEval
+// sampler, which for this indicator needs no capacity evaluation.
 func (m *Model) badSNREval(rmax, d, dThresh float64) montecarlo.EvalFunc {
-	pThresh := m.ThresholdPower(dThresh)
-	return func(src *rng.Source, out []float64) {
-		c := m.SampleConfig(src, rmax, d)
-		if m.Defers(c, pThresh) {
-			return
-		}
-		snr := m.SignalPower(c, 1) / (m.noise + m.InterferencePower(c, 1))
-		if snr < 1 { // below 0 dB
-			out[0] = 1
-		}
-	}
+	return m.newPointEval(rmax, d, dThresh).badSNRSample
 }
 
 // LumpedDistanceFactor converts a dB uncertainty into the equivalent

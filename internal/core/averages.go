@@ -3,9 +3,9 @@ package core
 import (
 	"math"
 
+	"carriersense/internal/geometry"
 	"carriersense/internal/montecarlo"
 	"carriersense/internal/numeric"
-	"carriersense/internal/rng"
 )
 
 // Averages holds the expected per-pair throughput of every MAC policy
@@ -50,27 +50,10 @@ const (
 
 // averagesEval builds the per-policy throughput integrand behind
 // EstimateAverages; the core/averages kernel rebuilds it on workers.
+// The integrand is the fused pointEval sampler: each path gain and
+// capacity evaluation happens exactly once per sample.
 func (m *Model) averagesEval(rmax, d, dThresh float64) montecarlo.EvalFunc {
-	pThresh := m.ThresholdPower(dThresh)
-	return func(src *rng.Source, out []float64) {
-		c := m.SampleConfig(src, rmax, d)
-		out[idxSingle] = m.CSingle(c, 1)
-		out[idxMux] = m.CMultiplexing(c, 1)
-		out[idxConc] = m.CConcurrent(c, 1)
-		out[idxCS] = m.CCarrierSense(c, 1, pThresh)
-		out[idxMax] = m.CMax(c)
-		out[idxUBMax] = m.CUBMax(c, 1)
-		if m.StarvedUnderConcurrency(c, 1, 0.10) {
-			out[idxStarved] = 1
-		} else {
-			out[idxStarved] = 0
-		}
-		if m.Defers(c, pThresh) {
-			out[idxDeferred] = 1
-		} else {
-			out[idxDeferred] = 0
-		}
-	}
+	return m.newPointEval(rmax, d, dThresh).averagesSample
 }
 
 // EstimateAverages estimates all policy averages at one (R_max, D)
@@ -98,7 +81,7 @@ func (m *Model) EstimateAverages(seed uint64, n int, rmax, d, dThresh float64) A
 // SigmaDB == 0 (it ignores shadowing draws); callers assert that.
 func (m *Model) AvgSingleQuad(rmax float64) float64 {
 	f := func(r float64) float64 {
-		c := Config{R1: r, LSig1: 1}
+		c := Config{X1: r, LSig1: 1}
 		return m.CSingle(c, 1)
 	}
 	// The integrand depends on r only; average over the disc with the
@@ -117,7 +100,8 @@ func (m *Model) AvgMuxQuad(rmax float64) float64 {
 // quadrature over the receiver disc.
 func (m *Model) AvgConcQuad(rmax, d float64) float64 {
 	return numeric.DiscAverage(func(r, theta float64) float64 {
-		c := Config{D: d, R1: r, Theta1: theta, LSig1: 1, LInt1: 1}
+		p := geometry.Polar(r, theta)
+		c := Config{D: d, X1: p.X, Y1: p.Y, LSig1: 1, LInt1: 1}
 		return m.CConcurrent(c, 1)
 	}, rmax, 48, 24)
 }
@@ -172,10 +156,7 @@ func (m *Model) NormalizationConstant(seed uint64, n int) float64 {
 // singleEval builds the no-competition throughput integrand; the
 // core/single kernel rebuilds it on workers.
 func (m *Model) singleEval(rmax, d float64) montecarlo.EvalFunc {
-	return func(src *rng.Source, out []float64) {
-		c := m.SampleConfig(src, rmax, d)
-		out[0] = m.CSingle(c, 1)
-	}
+	return m.newPointEval(rmax, d, 0).singleSample
 }
 
 // ConcurrencySlope estimates d⟨C_conc⟩/dD at the given D by a central

@@ -95,23 +95,70 @@ func pointFactory(build func(m *Model, p pointParams) montecarlo.EvalFunc) monte
 	}
 }
 
+// pointBatchFactory adapts a pointEval batch-method selector into the
+// batch kernel form. The batch method wraps the identical fused
+// sampler the per-sample form uses, so the two are
+// bit-interchangeable.
+func pointBatchFactory(build func(m *Model, p pointParams) montecarlo.BatchEvalFunc) montecarlo.BatchKernelFactory {
+	return func(raw json.RawMessage) (montecarlo.BatchEvalFunc, error) {
+		var p pointParams
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, err
+		}
+		m, err := p.Env.build()
+		if err != nil {
+			return nil, err
+		}
+		return build(m, p), nil
+	}
+}
+
+// registerPoint registers a two-pair kernel in both per-sample and
+// batch form.
+func registerPoint(name string, dim int,
+	build func(m *Model, p pointParams) montecarlo.EvalFunc,
+	buildBatch func(m *Model, p pointParams) montecarlo.BatchEvalFunc) {
+	montecarlo.RegisterKernel(name, pointFactory(build))
+	montecarlo.RegisterBatchKernel(name, dim, pointBatchFactory(buildBatch))
+}
+
 func init() {
-	montecarlo.RegisterKernel(KernelAverages, pointFactory(func(m *Model, p pointParams) montecarlo.EvalFunc {
-		return m.averagesEval(p.Rmax, p.D, p.DThresh)
-	}))
-	montecarlo.RegisterKernel(KernelSingle, pointFactory(func(m *Model, p pointParams) montecarlo.EvalFunc {
-		return m.singleEval(p.Rmax, p.D)
-	}))
-	montecarlo.RegisterKernel(KernelFairness, pointFactory(func(m *Model, p pointParams) montecarlo.EvalFunc {
-		return m.fairnessEval(p.Rmax, p.D, p.DThresh)
-	}))
-	montecarlo.RegisterKernel(KernelBadSNR, pointFactory(func(m *Model, p pointParams) montecarlo.EvalFunc {
-		return m.badSNREval(p.Rmax, p.D, p.DThresh)
-	}))
-	montecarlo.RegisterKernel(KernelPolicyDiff, pointFactory(func(m *Model, p pointParams) montecarlo.EvalFunc {
-		return m.policyDiffEval(p.Rmax, p.D)
-	}))
-	montecarlo.RegisterKernel(KernelMulti, func(raw json.RawMessage) (montecarlo.EvalFunc, error) {
+	registerPoint(KernelAverages, nAverages,
+		func(m *Model, p pointParams) montecarlo.EvalFunc {
+			return m.averagesEval(p.Rmax, p.D, p.DThresh)
+		},
+		func(m *Model, p pointParams) montecarlo.BatchEvalFunc {
+			return m.newPointEval(p.Rmax, p.D, p.DThresh).averagesBatch
+		})
+	registerPoint(KernelSingle, 1,
+		func(m *Model, p pointParams) montecarlo.EvalFunc {
+			return m.singleEval(p.Rmax, p.D)
+		},
+		func(m *Model, p pointParams) montecarlo.BatchEvalFunc {
+			return m.newPointEval(p.Rmax, p.D, 0).singleBatch
+		})
+	registerPoint(KernelFairness, 3,
+		func(m *Model, p pointParams) montecarlo.EvalFunc {
+			return m.fairnessEval(p.Rmax, p.D, p.DThresh)
+		},
+		func(m *Model, p pointParams) montecarlo.BatchEvalFunc {
+			return m.newPointEval(p.Rmax, p.D, p.DThresh).fairnessBatch
+		})
+	registerPoint(KernelBadSNR, 1,
+		func(m *Model, p pointParams) montecarlo.EvalFunc {
+			return m.badSNREval(p.Rmax, p.D, p.DThresh)
+		},
+		func(m *Model, p pointParams) montecarlo.BatchEvalFunc {
+			return m.newPointEval(p.Rmax, p.D, p.DThresh).badSNRBatch
+		})
+	registerPoint(KernelPolicyDiff, 2,
+		func(m *Model, p pointParams) montecarlo.EvalFunc {
+			return m.policyDiffEval(p.Rmax, p.D)
+		},
+		func(m *Model, p pointParams) montecarlo.BatchEvalFunc {
+			return m.newPointEval(p.Rmax, p.D, 0).policyDiffBatch
+		})
+	buildMulti := func(raw json.RawMessage) (montecarlo.EvalFunc, error) {
 		var p multiParamsWire
 		if err := json.Unmarshal(raw, &p); err != nil {
 			return nil, err
@@ -132,6 +179,14 @@ func init() {
 			Rounds:     p.Rounds,
 		})
 		return mm.multiEval(), nil
+	}
+	montecarlo.RegisterKernel(KernelMulti, buildMulti)
+	montecarlo.RegisterBatchKernel(KernelMulti, nMultiIdx, func(raw json.RawMessage) (montecarlo.BatchEvalFunc, error) {
+		fn, err := buildMulti(raw)
+		if err != nil {
+			return nil, err
+		}
+		return batchLoop(nMultiIdx, fn), nil
 	})
 }
 

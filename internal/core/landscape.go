@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math"
-
 	"carriersense/internal/geometry"
 )
 
@@ -80,7 +78,7 @@ func (m *Model) Landscape(policy Policy, d, extent float64, n int) *Grid {
 		for col := 0; col < n; col++ {
 			p := g.cellCenter(row, col)
 			c := Config{
-				D: d, R1: p.Norm(), Theta1: atan2(p), LSig1: 1, LInt1: 1,
+				D: d, X1: p.X, Y1: p.Y, LSig1: 1, LInt1: 1,
 			}
 			var v float64
 			switch policy {
@@ -141,7 +139,7 @@ func (m *Model) PreferenceMap(d, extent float64, n int) *Grid {
 		for col := 0; col < n; col++ {
 			p := g.cellCenter(row, col)
 			c := Config{
-				D: d, R1: p.Norm(), Theta1: atan2(p), LSig1: 1, LInt1: 1,
+				D: d, X1: p.X, Y1: p.Y, LSig1: 1, LInt1: 1,
 			}
 			pref := PrefConcurrency
 			if m.PrefersMultiplexing(c, 1) {
@@ -182,11 +180,4 @@ func (g *Grid) PreferenceShares(rmax float64) (conc, mux, starved float64) {
 		return 0, 0, 0
 	}
 	return conc / total, mux / total, starved / total
-}
-
-func atan2(p geometry.Point) float64 {
-	if p.X == 0 && p.Y == 0 {
-		return 0
-	}
-	return math.Atan2(p.Y, p.X)
 }

@@ -89,6 +89,10 @@ type Model struct {
 	params Params
 	noise  float64
 	cap    capacity.Model
+	// alphaInt is Alpha when it is a small positive integer (the
+	// default α = 3 case), letting pathGain use multiplications instead
+	// of math.Pow on the Monte Carlo hot path; 0 otherwise.
+	alphaInt int
 }
 
 // New constructs a Model. It panics on invalid parameters, which are
@@ -97,7 +101,11 @@ func New(p Params) *Model {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	return &Model{params: p, noise: p.Noise(), cap: p.capModel()}
+	m := &Model{params: p, noise: p.Noise(), cap: p.capModel()}
+	if a := int(p.Alpha); p.Alpha == float64(a) && a >= 1 && a <= 8 {
+		m.alphaInt = a
+	}
+	return m
 }
 
 // Params returns the model's parameters.
@@ -106,13 +114,48 @@ func (m *Model) Params() Params { return m.params }
 // Noise returns the linear noise floor.
 func (m *Model) Noise() float64 { return m.noise }
 
-// pathGain returns the deterministic power-law gain d^-α.
+// minDist clamps degenerate geometry (receiver on top of its sender)
+// away from the d = 0 singularity of the power law.
+const minDist = 1e-9
+
+// pathGain returns the deterministic power-law gain d^-α. Integer α
+// (the α = 3 default) is evaluated by multiplication — several times
+// cheaper than math.Pow on the Monte Carlo hot path.
 func (m *Model) pathGain(d float64) float64 {
-	const minDist = 1e-9
 	if d < minDist {
 		d = minDist
 	}
+	if m.alphaInt > 0 {
+		p := d
+		for i := 1; i < m.alphaInt; i++ {
+			p *= d
+		}
+		return 1 / p
+	}
 	return math.Pow(d, -m.params.Alpha)
+}
+
+// pathGainSq returns the power-law gain d^-α given the *squared*
+// distance s = d². Working in the squared domain lets the sampling hot
+// path skip math.Hypot entirely: one s = x²+y² suffices, and for
+// integer α the gain is a handful of multiplications (odd α needs a
+// single sqrt).
+func (m *Model) pathGainSq(s float64) float64 {
+	const minDistSq = minDist * minDist
+	if s < minDistSq {
+		s = minDistSq
+	}
+	if a := m.alphaInt; a > 0 {
+		p := 1.0
+		for i := a; i >= 2; i -= 2 {
+			p *= s
+		}
+		if a&1 != 0 {
+			p *= math.Sqrt(s)
+		}
+		return 1 / p
+	}
+	return math.Pow(s, -0.5*m.params.Alpha)
 }
 
 // ThresholdPower converts a nominal threshold distance to the
@@ -138,11 +181,18 @@ func EquivalentDistanceAtAlpha(pThresh, alpha float64) float64 {
 // receiver positions plus every shadowing draw the capacity formulas
 // consume. With SigmaDB = 0 all shadowing factors are 1 and a Config
 // is purely geometric.
+//
+// Receiver positions are stored in Cartesian form, relative to each
+// receiver's own sender: every consumer needs either the squared
+// sender-receiver distance or the squared interferer-receiver distance
+// (x±D)² + y², so Cartesian storage makes the sampling hot path free
+// of Atan2/Hypot round trips. Use ConfigPolar to construct one from
+// the paper's (r, θ) coordinates.
 type Config struct {
 	D float64 // sender-sender separation
 
-	R1, Theta1 float64 // receiver 1, polar around S1
-	R2, Theta2 float64 // receiver 2, polar around S2
+	X1, Y1 float64 // receiver 1, Cartesian around S1 (interferer at (-D, 0))
+	X2, Y2 float64 // receiver 2, Cartesian around S2 (interferer at (-D, 0) by symmetry)
 
 	LSig1  float64 // shadowing S1→R1 (serving link 1)
 	LInt1  float64 // shadowing S2→R1 (interference into R1)
@@ -153,6 +203,24 @@ type Config struct {
 	// equal sensed powers, §3.2.1)
 }
 
+// ConfigPolar constructs a shadowing-free configuration from the
+// paper's polar receiver coordinates (both receivers at (r_i, θ_i)
+// around their own sender).
+func ConfigPolar(d, r1, theta1, r2, theta2 float64) Config {
+	p1 := geometry.Polar(r1, theta1)
+	p2 := geometry.Polar(r2, theta2)
+	return Config{
+		D: d, X1: p1.X, Y1: p1.Y, X2: p2.X, Y2: p2.Y,
+		LSig1: 1, LInt1: 1, LSig2: 1, LInt2: 1, LSense: 1,
+	}
+}
+
+// R1 returns receiver 1's distance from its sender.
+func (c Config) R1() float64 { return math.Hypot(c.X1, c.Y1) }
+
+// R2 returns receiver 2's distance from its sender.
+func (c Config) R2() float64 { return math.Hypot(c.X2, c.Y2) }
+
 // SampleConfig draws a random configuration: receivers uniform over
 // their R_max discs and independent lognormal shadowing on the five
 // channels (footnote 14: distributions assumed uncorrelated).
@@ -162,10 +230,10 @@ func (m *Model) SampleConfig(src *rng.Source, rmax, d float64) Config {
 	sigma := m.params.SigmaDB
 	return Config{
 		D:      d,
-		R1:     p1.Norm(),
-		Theta1: math.Atan2(p1.Y, p1.X),
-		R2:     p2.Norm(),
-		Theta2: math.Atan2(p2.Y, p2.X),
+		X1:     p1.X,
+		Y1:     p1.Y,
+		X2:     p2.X,
+		Y2:     p2.Y,
 		LSig1:  src.LognormalDB(sigma),
 		LInt1:  src.LognormalDB(sigma),
 		LSig2:  src.LognormalDB(sigma),
@@ -177,19 +245,22 @@ func (m *Model) SampleConfig(src *rng.Source, rmax, d float64) Config {
 // SignalPower returns the serving signal power at receiver i (1 or 2).
 func (m *Model) SignalPower(c Config, i int) float64 {
 	if i == 1 {
-		return m.pathGain(c.R1) * c.LSig1
+		return m.pathGainSq(c.X1*c.X1+c.Y1*c.Y1) * c.LSig1
 	}
-	return m.pathGain(c.R2) * c.LSig2
+	return m.pathGainSq(c.X2*c.X2+c.Y2*c.Y2) * c.LSig2
 }
 
 // InterferencePower returns the interfering sender's power at receiver
-// i. By the symmetry of the scenario, the interferer-receiver distance
-// for both pairs is Δr(r, θ, D) of §3.2.2.
+// i. By the symmetry of the scenario, the squared interferer-receiver
+// distance for both pairs is Δr² = (x+D)² + y² (§3.2.2's Δr with the
+// interferer at Cartesian (-D, 0)).
 func (m *Model) InterferencePower(c Config, i int) float64 {
 	if i == 1 {
-		return m.pathGain(geometry.InterfererDistance(c.R1, c.Theta1, c.D)) * c.LInt1
+		dx := c.X1 + c.D
+		return m.pathGainSq(dx*dx+c.Y1*c.Y1) * c.LInt1
 	}
-	return m.pathGain(geometry.InterfererDistance(c.R2, c.Theta2, c.D)) * c.LInt2
+	dx := c.X2 + c.D
+	return m.pathGainSq(dx*dx+c.Y2*c.Y2) * c.LInt2
 }
 
 // SensedPower returns the power each sender senses from the other:

@@ -70,10 +70,7 @@ func TestEquivalentDistanceAtAlpha(t *testing.T) {
 
 // fixedConfig builds a deterministic configuration for formula checks.
 func fixedConfig(d, r1, theta1 float64) Config {
-	return Config{
-		D: d, R1: r1, Theta1: theta1, R2: r1, Theta2: theta1,
-		LSig1: 1, LInt1: 1, LSig2: 1, LInt2: 1, LSense: 1,
-	}
+	return ConfigPolar(d, r1, theta1, r1, theta1)
 }
 
 func TestCapacityFormulas(t *testing.T) {
@@ -206,8 +203,8 @@ func TestSampleConfigBounds(t *testing.T) {
 	src := rng.New(7)
 	for i := 0; i < 10_000; i++ {
 		c := m.SampleConfig(src, 30, 55)
-		if c.R1 > 30 || c.R2 > 30 {
-			t.Fatalf("receiver outside Rmax: %v %v", c.R1, c.R2)
+		if c.R1() > 30 || c.R2() > 30 {
+			t.Fatalf("receiver outside Rmax: %v %v", c.R1(), c.R2())
 		}
 		if c.LSig1 <= 0 || c.LSense <= 0 {
 			t.Fatalf("non-positive shadowing factor")

@@ -130,17 +130,16 @@ func (mm *MultiModel) pairCapacity(c multiConfig, i int, active uint64) float64 
 		if j == i || active&(1<<uint(j)) == 0 {
 			continue
 		}
-		d := c.senders[j].Dist(c.receivers[i])
-		interf += mm.model.pathGain(d) * c.lInt[j][i]
+		interf += mm.model.pathGainSq(c.senders[j].DistSq(c.receivers[i])) * c.lInt[j][i]
 	}
-	sig := mm.model.pathGain(c.senders[i].Dist(c.receivers[i])) * c.lSig[i]
+	sig := mm.model.pathGainSq(c.senders[i].DistSq(c.receivers[i])) * c.lSig[i]
 	return mm.model.cap.Throughput(sig / (noise + interf))
 }
 
 // sensed reports whether sender i senses sender j above threshold.
 func (mm *MultiModel) sensed(c multiConfig, i, j int, pThresh float64) bool {
-	d := c.senders[i].Dist(c.senders[j])
-	return mm.model.pathGain(d)*c.lSense[i][j] > pThresh
+	s := c.senders[i].DistSq(c.senders[j])
+	return mm.model.pathGainSq(s)*c.lSense[i][j] > pThresh
 }
 
 // csRound runs one DCF round: arrival order is a random permutation;

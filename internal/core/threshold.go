@@ -96,13 +96,10 @@ func (m *Model) OptimalThresholdMC(seed uint64, n int, rmax float64) float64 {
 
 // policyDiffEval builds the common-random-numbers C_conc/C_mux pair
 // integrand behind OptimalThresholdMC; the core/policy-diff kernel
-// rebuilds it on workers.
+// rebuilds it on workers. The integrand is the fused pointEval
+// sampler.
 func (m *Model) policyDiffEval(rmax, d float64) montecarlo.EvalFunc {
-	return func(src *rng.Source, out []float64) {
-		c := m.SampleConfig(src, rmax, d)
-		out[0] = m.CConcurrent(c, 1)
-		out[1] = m.CMultiplexing(c, 1)
-	}
+	return m.newPointEval(rmax, d, 0).policyDiffSample
 }
 
 // OptimalThreshold picks the appropriate solver for the model's σ.

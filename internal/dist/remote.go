@@ -319,6 +319,9 @@ func (r *Remote) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 			merged[j].Merge(d.results[idx][j])
 		}
 	}
+	// Credit the fleet's work to this process's throughput counter so
+	// the CLI's samples/sec report covers distributed runs.
+	montecarlo.AddEvaluatedSamples(req.Samples)
 	return merged, nil
 }
 

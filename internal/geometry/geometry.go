@@ -20,12 +20,22 @@ type Point struct {
 
 // Polar constructs a point from polar coordinates.
 func Polar(r, theta float64) Point {
-	return Point{X: r * math.Cos(theta), Y: r * math.Sin(theta)}
+	sin, cos := math.Sincos(theta)
+	return Point{X: r * cos, Y: r * sin}
 }
 
 // Dist returns the Euclidean distance between two points.
 func (p Point) Dist(q Point) float64 {
 	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// DistSq returns the squared Euclidean distance between two points —
+// the form power-law path gains consume directly, skipping the Hypot
+// round trip on hot paths.
+func (p Point) DistSq(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
 }
 
 // Norm returns the distance from the origin.
@@ -73,7 +83,11 @@ func UniformInAnnulus(src *rng.Source, inner, outer float64) Point {
 //
 //	Δr = sqrt((r·cosθ + D)² + (r·sinθ)²)
 //
-// exactly as defined under C_concurrent in §3.2.2.
+// exactly as defined under C_concurrent in §3.2.2. This is the
+// reference form of the paper's formula; the Monte Carlo hot path
+// computes the same quantity in Cartesian squared-distance form
+// ((x+D)² + y², see core's pathGainSq) and must not call this — the
+// Sincos/Hypot round trip is exactly what the fused evaluator removed.
 func InterfererDistance(r, theta, d float64) float64 {
 	x := r*math.Cos(theta) + d
 	y := r * math.Sin(theta)

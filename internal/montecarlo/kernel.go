@@ -32,12 +32,35 @@ import (
 // zeroed before every call, so indicator components may be left unset.
 type EvalFunc func(src *rng.Source, out []float64)
 
+// BatchEvalFunc evaluates count consecutive samples of a
+// dim-component integrand into out, a count×dim row-major flat buffer
+// (sample i fills out[i*dim : (i+1)*dim]). The buffer is zeroed by
+// the caller, so indicator components may be left unset, exactly as
+// with EvalFunc. The batch form must consume random variates from src
+// in precisely the order count successive EvalFunc calls would — the
+// shard evaluator accumulates batch rows in sample order, so a
+// conforming batch kernel is bit-identical to its per-sample form.
+type BatchEvalFunc func(src *rng.Source, count int, out []float64)
+
 // KernelFactory rebuilds an EvalFunc from serialized parameters.
 type KernelFactory func(params json.RawMessage) (EvalFunc, error)
 
+// BatchKernelFactory rebuilds a BatchEvalFunc from serialized
+// parameters.
+type BatchKernelFactory func(params json.RawMessage) (BatchEvalFunc, error)
+
+// batchRegistration pairs a batch factory with the component count its
+// evaluators stride the flat buffer by; requests with a different Dim
+// are rejected rather than silently mis-striding the buffer.
+type batchRegistration struct {
+	factory BatchKernelFactory
+	dim     int
+}
+
 var (
-	kernelMu sync.RWMutex
-	kernels  = map[string]KernelFactory{}
+	kernelMu     sync.RWMutex
+	kernels      = map[string]KernelFactory{}
+	batchKernels = map[string]batchRegistration{}
 )
 
 // RegisterKernel adds a named integrand factory to the global registry.
@@ -54,6 +77,27 @@ func RegisterKernel(name string, factory KernelFactory) {
 		panic(fmt.Sprintf("montecarlo: duplicate kernel %q", name))
 	}
 	kernels[name] = factory
+}
+
+// RegisterBatchKernel adds an optional batch evaluator for an
+// already-registered (or about-to-be-registered) kernel name. dim is
+// the kernel's component count — the stride its batch evaluators
+// write the flat buffer with; estimation requests for the name must
+// carry the same Dim or they are rejected. When a batch form is
+// present, every shard evaluator — local pool, worker server, cache
+// fill — prefers it: one call per buffer chunk instead of per sample.
+// The batch form must draw and compute exactly as the per-sample form
+// does; the two are interchangeable bit-for-bit.
+func RegisterBatchKernel(name string, dim int, factory BatchKernelFactory) {
+	if name == "" || factory == nil || dim < 1 {
+		panic("montecarlo: invalid batch kernel registration")
+	}
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	if _, dup := batchKernels[name]; dup {
+		panic(fmt.Sprintf("montecarlo: duplicate batch kernel %q", name))
+	}
+	batchKernels[name] = batchRegistration{factory: factory, dim: dim}
 }
 
 // KernelNames returns every registered kernel name, sorted.
@@ -82,6 +126,40 @@ func BuildKernel(name string, params json.RawMessage) (EvalFunc, error) {
 		return nil, fmt.Errorf("montecarlo: kernel %q: %w", name, err)
 	}
 	return fn, nil
+}
+
+// kernelEval is a built kernel in both forms; batch is nil when the
+// kernel registered only the per-sample form.
+type kernelEval struct {
+	fn    EvalFunc
+	batch BatchEvalFunc
+}
+
+// buildEval resolves a kernel's per-sample evaluator and, when
+// registered, its batch evaluator. A batch registration pins the
+// kernel's component count: a request with a different dim (a
+// version-skewed coordinator, a hand-built job) is an error here, not
+// a mis-strided buffer downstream.
+func buildEval(name string, params json.RawMessage, dim int) (kernelEval, error) {
+	fn, err := BuildKernel(name, params)
+	if err != nil {
+		return kernelEval{}, err
+	}
+	kernelMu.RLock()
+	br, hasBatch := batchKernels[name]
+	kernelMu.RUnlock()
+	ev := kernelEval{fn: fn}
+	if hasBatch {
+		if dim != br.dim {
+			return kernelEval{}, fmt.Errorf("montecarlo: kernel %q has %d components, request wants %d", name, br.dim, dim)
+		}
+		batch, err := br.factory(params)
+		if err != nil {
+			return kernelEval{}, fmt.Errorf("montecarlo: batch kernel %q: %w", name, err)
+		}
+		ev.batch = batch
+	}
+	return ev, nil
 }
 
 // Request is one complete, serializable estimation: a registered
@@ -163,14 +241,14 @@ func RunRequest(ctx context.Context, req Request) ([]Accumulator, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	fn, err := BuildKernel(req.Kernel, req.Params)
+	ev, err := buildEval(req.Kernel, req.Params, req.Dim)
 	if err != nil {
 		return nil, err
 	}
 	shards := PlanShards(req.Seed, req.Samples)
 	accs := make([][]Accumulator, len(shards))
 	RunShards(shards, func(s Shard) {
-		accs[s.Index] = evalShard(fn, s, req.Dim)
+		accs[s.Index] = evalShard(ev, s, req.Dim)
 	})
 	merged := make([]Accumulator, req.Dim)
 	for i := range accs {
@@ -192,7 +270,7 @@ func EvaluateShards(req Request, indices []int) ([][]Accumulator, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	fn, err := BuildKernel(req.Kernel, req.Params)
+	ev, err := buildEval(req.Kernel, req.Params, req.Dim)
 	if err != nil {
 		return nil, err
 	}
@@ -211,22 +289,57 @@ func EvaluateShards(req Request, indices []int) ([][]Accumulator, error) {
 	}
 	results := make([][]Accumulator, len(indices))
 	RunShards(selected, func(s Shard) {
-		results[position[s.Index]] = evalShard(fn, s, req.Dim)
+		results[position[s.Index]] = evalShard(ev, s, req.Dim)
 	})
 	return results, nil
 }
 
+// batchChunk is the number of samples evaluated per batch-kernel call:
+// large enough to amortize the indirect call, small enough that the
+// sample buffer (batchChunk × dim float64s) stays L1/L2-resident.
+const batchChunk = 512
+
 // evalShard evaluates one shard of a dim-component integrand exactly
 // the way MeanVec does, so kernel-routed and closure-based estimations
-// produce bit-identical accumulators.
-func evalShard(fn EvalFunc, s Shard, dim int) []Accumulator {
+// produce bit-identical accumulators. Kernels with a registered batch
+// form are evaluated a chunk at a time into a preallocated flat
+// buffer; rows are accumulated in sample order, so the two paths
+// produce identical accumulators.
+func evalShard(ev kernelEval, s Shard, dim int) []Accumulator {
 	accs := make([]Accumulator, dim)
+	defer addEvaluatedSamples(s.N)
+	if ev.batch != nil {
+		chunk := batchChunk
+		if s.N < chunk {
+			chunk = s.N
+		}
+		buf := make([]float64, chunk*dim)
+		for done := 0; done < s.N; {
+			n := chunk
+			if rest := s.N - done; n > rest {
+				n = rest
+			}
+			b := buf[:n*dim]
+			for i := range b {
+				b[i] = 0
+			}
+			ev.batch(s.Src, n, b)
+			for i := 0; i < n; i++ {
+				row := b[i*dim : (i+1)*dim]
+				for j, v := range row {
+					accs[j].Add(v)
+				}
+			}
+			done += n
+		}
+		return accs
+	}
 	out := make([]float64, dim)
 	for i := 0; i < s.N; i++ {
 		for j := range out {
 			out[j] = 0
 		}
-		fn(s.Src, out)
+		ev.fn(s.Src, out)
 		for j, v := range out {
 			accs[j].Add(v)
 		}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"carriersense/internal/rng"
@@ -22,6 +23,13 @@ func testKernelEval(offset float64) EvalFunc {
 	}
 }
 
+// Call counters for the dual-form kernel below: the shard evaluator
+// must prefer the batch form whenever one is registered.
+var (
+	batchKernelCalls     atomic.Int64
+	perSampleKernelCalls atomic.Int64
+)
+
 func init() {
 	RegisterKernel("test/vec", func(raw json.RawMessage) (EvalFunc, error) {
 		var p testKernelParams
@@ -29,6 +37,32 @@ func init() {
 			return nil, err
 		}
 		return testKernelEval(p.Offset), nil
+	})
+	// The same integrand registered in both forms, instrumented.
+	RegisterKernel("test/batched", func(raw json.RawMessage) (EvalFunc, error) {
+		var p testKernelParams
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, err
+		}
+		eval := testKernelEval(p.Offset)
+		return func(src *rng.Source, out []float64) {
+			perSampleKernelCalls.Add(1)
+			eval(src, out)
+		}, nil
+	})
+	RegisterBatchKernel("test/batched", 2, func(raw json.RawMessage) (BatchEvalFunc, error) {
+		var p testKernelParams
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, err
+		}
+		eval := testKernelEval(p.Offset)
+		return func(src *rng.Source, count int, out []float64) {
+			batchKernelCalls.Add(1)
+			const dim = 2
+			for i := 0; i < count; i++ {
+				eval(src, out[i*dim:(i+1)*dim])
+			}
+		}, nil
 	})
 }
 
@@ -86,6 +120,71 @@ func TestRunRequestMatchesMeanVec(t *testing.T) {
 	for j := range got {
 		if got[j] != want[j] {
 			t.Errorf("KernelMeanVec[%d] = %+v, want %+v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestBatchKernelBitIdenticalToPerSample(t *testing.T) {
+	// A kernel evaluated through its batch form must produce the same
+	// accumulators, bit for bit, as the per-sample closure path — the
+	// batch API is a scheduling optimization, never a numeric change.
+	const n = 2*ShardSize + 403
+	want := MeanVec(13, n, 2, testKernelEval(0.75))
+	raw, _ := json.Marshal(testKernelParams{Offset: 0.75})
+	req := Request{Kernel: "test/batched", Params: raw, Seed: 13, Samples: n, Dim: 2}
+
+	batchKernelCalls.Store(0)
+	perSampleKernelCalls.Store(0)
+	accs, err := RunRequest(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range accs {
+		if got := accs[j].Estimate(); got != want[j] {
+			t.Errorf("component %d: batch path %+v != closure path %+v", j, got, want[j])
+		}
+	}
+	if batchKernelCalls.Load() == 0 {
+		t.Error("batch form registered but never used")
+	}
+	if got := perSampleKernelCalls.Load(); got != 0 {
+		t.Errorf("per-sample form called %d times despite batch form", got)
+	}
+	// The worker-server path (EvaluateShards) takes the batch form too.
+	count := ShardCount(n)
+	indices := make([]int, count)
+	for i := range indices {
+		indices[i] = i
+	}
+	perShard, err := EvaluateShards(req, indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := make([]Accumulator, req.Dim)
+	for _, accs := range perShard {
+		for j := range merged {
+			merged[j].Merge(accs[j])
+		}
+	}
+	for j := range merged {
+		if got := merged[j].Estimate(); got != want[j] {
+			t.Errorf("component %d: shard-wise batch merge %+v != closure path %+v", j, got, want[j])
+		}
+	}
+	if got := perSampleKernelCalls.Load(); got != 0 {
+		t.Errorf("per-sample form called %d times on the worker path", got)
+	}
+}
+
+func TestBatchKernelRejectsDimMismatch(t *testing.T) {
+	// A batch registration pins the kernel's component count: a request
+	// with a different Dim must fail cleanly (a mis-strided flat buffer
+	// would otherwise corrupt results silently).
+	raw, _ := json.Marshal(testKernelParams{})
+	for _, dim := range []int{1, 3} {
+		req := Request{Kernel: "test/batched", Params: raw, Seed: 1, Samples: 10, Dim: dim}
+		if _, err := RunRequest(context.Background(), req); err == nil {
+			t.Errorf("dim %d accepted for a 2-component batch kernel", dim)
 		}
 	}
 }

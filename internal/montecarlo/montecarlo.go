@@ -33,6 +33,32 @@ const ShardSize = 4096
 // maxWorkers is the configured pool width; 0 means GOMAXPROCS.
 var maxWorkers atomic.Int64
 
+// evaluatedSamples counts integrand evaluations performed by this
+// process (every estimator path routes through it), plus any samples
+// executors report via AddEvaluatedSamples. It backs the CLI's
+// samples/sec throughput report.
+var evaluatedSamples atomic.Int64
+
+func addEvaluatedSamples(n int) {
+	evaluatedSamples.Add(int64(n))
+}
+
+// AddEvaluatedSamples credits samples evaluated on behalf of this
+// process by an out-of-process executor (a `cs serve` worker fleet),
+// so the CLI's throughput report covers distributed runs too.
+func AddEvaluatedSamples(n int) {
+	if n > 0 {
+		addEvaluatedSamples(n)
+	}
+}
+
+// EvaluatedSamples returns the total number of Monte Carlo samples
+// evaluated (or credited) since process start. Snapshot it around a
+// run to compute samples/sec.
+func EvaluatedSamples() int64 {
+	return evaluatedSamples.Load()
+}
+
 // SetMaxWorkers sets the worker pool width used by all estimators.
 // n must be >= 1; anything else is rejected with an error rather than
 // silently clamped (use ResetMaxWorkers to restore the GOMAXPROCS
@@ -193,6 +219,7 @@ func Mean(seed uint64, n int, f func(*rng.Source) float64) Estimate {
 		for i := 0; i < s.N; i++ {
 			acc.Add(f(s.Src))
 		}
+		addEvaluatedSamples(s.N)
 	})
 	var total Accumulator
 	for i := range accs {
@@ -225,6 +252,7 @@ func MeanVec(seed uint64, n, dim int, f func(*rng.Source, []float64)) []Estimate
 				accs[s.Index][j].Add(v)
 			}
 		}
+		addEvaluatedSamples(s.N)
 	})
 	result := make([]Estimate, dim)
 	for j := 0; j < dim; j++ {
@@ -240,11 +268,55 @@ func MeanVec(seed uint64, n, dim int, f func(*rng.Source, []float64)) []Estimate
 // MeanToRelErr estimates E[f], growing the sample count geometrically
 // (starting at n0, capped at nMax) until the relative standard error
 // of the mean drops below relErr.
+//
+// Growth is incremental: each round extends the live shard plan —
+// partial shards continue their random streams, new shards are split
+// from the root in shard order — so only the delta samples are
+// evaluated (a fresh re-estimation per round would throw away ~33% of
+// the total work). The result after any round is bit-identical to
+// Mean(seed, n) at that round's n, because shard streams, Welford add
+// order, and the shard-order merge are all unchanged.
 func MeanToRelErr(seed uint64, n0, nMax int, relErr float64, f func(*rng.Source) float64) Estimate {
+	if n0 < 1 {
+		n0 = 1
+	}
+	if nMax < n0 {
+		nMax = n0
+	}
 	n := n0
-	var est Estimate
+	root := rng.New(seed)
+	var shards []Shard     // live shard streams, split from root in shard order
+	var accs []Accumulator // running per-shard accumulators
 	for {
-		est = Mean(seed, n, f)
+		count := ShardCount(n)
+		for len(shards) < count {
+			shards = append(shards, Shard{Index: len(shards), Src: root.Split()})
+			accs = append(accs, Accumulator{})
+		}
+		// Delta work per shard: its target size under the grown plan
+		// minus the samples already folded in earlier rounds.
+		var work []Shard
+		for i := 0; i < count; i++ {
+			target := ShardSize
+			if i == count-1 {
+				target = n - i*ShardSize
+			}
+			if add := target - accs[i].n; add > 0 {
+				work = append(work, Shard{Index: i, N: add, Src: shards[i].Src})
+			}
+		}
+		RunShards(work, func(s Shard) {
+			acc := &accs[s.Index]
+			for i := 0; i < s.N; i++ {
+				acc.Add(f(s.Src))
+			}
+			addEvaluatedSamples(s.N)
+		})
+		var total Accumulator
+		for i := 0; i < count; i++ {
+			total.Merge(accs[i])
+		}
+		est := total.Estimate()
 		if est.RelErr() <= relErr || n >= nMax {
 			return est
 		}

@@ -88,6 +88,38 @@ func TestMeanToRelErr(t *testing.T) {
 	}
 }
 
+func TestMeanToRelErrMatchesMeanBitwise(t *testing.T) {
+	// Incremental shard-plan growth must change nothing about the
+	// result: after any number of growth rounds, the estimate is
+	// bit-identical to a fresh Mean over the same total — shard
+	// streams continue rather than restart, new shards split from the
+	// root in shard order, and the merge stays in shard order.
+	f := func(src *rng.Source) float64 { return 5 + src.Normal(0, 1) }
+	est := MeanToRelErr(9, 500, 3_000_000, 0.002, f)
+	if est.N <= 500 {
+		t.Fatalf("test needs growth rounds; converged at n0 (N=%d)", est.N)
+	}
+	direct := Mean(9, est.N, f)
+	if est != direct {
+		t.Errorf("incremental %+v != fresh Mean %+v", est, direct)
+	}
+}
+
+func TestMeanToRelErrEvaluatesEachSampleOnce(t *testing.T) {
+	// The point of the incremental plan: total work equals the final
+	// sample count, not the ~1.33x of re-evaluating every prior round.
+	f := func(src *rng.Source) float64 { return 5 + src.Normal(0, 1) }
+	before := EvaluatedSamples()
+	est := MeanToRelErr(10, 500, 3_000_000, 0.002, f)
+	evaluated := EvaluatedSamples() - before
+	if est.N <= 500 {
+		t.Fatalf("test needs growth rounds; converged at n0 (N=%d)", est.N)
+	}
+	if evaluated != int64(est.N) {
+		t.Errorf("evaluated %d samples for a final N of %d; incremental growth should evaluate each exactly once", evaluated, est.N)
+	}
+}
+
 func TestMeanToRelErrHitsCap(t *testing.T) {
 	// Zero-mean integrand: relative error never converges; must stop
 	// at nMax rather than loop forever.

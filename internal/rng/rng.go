@@ -58,6 +58,11 @@ func (s *Source) Normal(mean, stddev float64) float64 {
 	return mean + stddev*s.r.NormFloat64()
 }
 
+// ln10Over10 converts a dB exponent to a natural one: 10^(x/10) =
+// e^(x·ln10/10). math.Exp is substantially cheaper than math.Pow on
+// the Monte Carlo hot path, which draws five of these per sample.
+const ln10Over10 = math.Ln10 / 10
+
 // LognormalDB returns a linear power factor whose dB value is Gaussian
 // with zero mean and standard deviation sigmaDB. This is the paper's
 // lognormal shadowing variable L_sigma (§2): median 1, so distance
@@ -66,7 +71,7 @@ func (s *Source) LognormalDB(sigmaDB float64) float64 {
 	if sigmaDB == 0 {
 		return 1
 	}
-	return math.Pow(10, s.Normal(0, sigmaDB)/10)
+	return math.Exp(ln10Over10 * s.Normal(0, sigmaDB))
 }
 
 // Exp returns an exponential variate with the given mean. The power of

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Benchmark baseline snapshot: run the -short bench lane once and emit
+# BENCH_<date>.json — one record per benchmark with ns/op and every
+# custom metric — so the repo's performance trajectory is tracked
+# run-over-run. CI executes this and uploads the JSON as an artifact;
+# locally:
+#
+#   scripts/bench_baseline.sh            # writes BENCH_YYYYMMDD.json
+#   scripts/bench_baseline.sh out.json   # explicit output path
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date -u +%Y%m%d).json}"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -short -run '^$' -bench . -benchtime 1x -benchmem . | tee "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version | awk '{print $3}')" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)           # strip the GOMAXPROCS suffix
+    iters = $2
+    ns = ""
+    metrics = ""
+    for (i = 3; i < NF; i += 2) {
+        val = $i; unit = $(i + 1)
+        if (unit == "ns/op") { ns = val; continue }
+        gsub(/"/, "", unit)
+        metrics = metrics sprintf("%s\"%s\": %s", (metrics == "" ? "" : ", "), unit, val)
+    }
+    recs[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"metrics\": {%s}}",
+                        name, iters, (ns == "" ? "null" : ns), metrics)
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"bench\": \"go test -short -run ^$ -bench . -benchtime 1x -benchmem .\",\n"
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
