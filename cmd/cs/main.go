@@ -36,6 +36,7 @@ import (
 	"carriersense/internal/engine"
 	_ "carriersense/internal/experiments" // registers the scenario catalog
 	"carriersense/internal/montecarlo"
+	"carriersense/internal/sampling"
 )
 
 func main() {
@@ -88,6 +89,17 @@ run/all flags:
   -scale LEVEL   sampling effort: smoke, bench (default), or full
   -parallel N    Monte Carlo worker pool width (default GOMAXPROCS);
                  results are bit-identical at any width
+  -sampler NAME  Monte Carlo sampling strategy: plain (default),
+                 antithetic (mirrored draw pairs), or stratified
+                 (per-shard strata); part of the estimation identity,
+                 so results stay bit-identical at any -parallel width,
+                 -workers fleet size, and through -cache
+  -relerr T      adaptive budgets: grow each estimation point's sample
+                 count (whole shards, nothing re-evaluated) until its
+                 relative standard error is <= T; artifacts record
+                 sampler, samples spent, and achieved RelErr per point
+  -max-samples N cap for -relerr growth (default: the scenario's own
+                 per-point budget)
   -workers LIST  distribute Monte Carlo shards over cs serve workers
                  (comma-separated host:port list); results are
                  bit-identical to a local run at any fleet size
@@ -96,6 +108,9 @@ run/all flags:
                  runs under the cache directory
   -cache-dir DIR persistent cache location (default: the user cache
                  dir, e.g. ~/.cache/carriersense)
+  -cache-max-bytes B
+                 bound the persistent cache; least-recently-used
+                 entries are evicted once the directory exceeds B bytes
   -cpuprofile F  write a CPU profile of the run to F (go tool pprof)
   -memprofile F  write a heap profile at the end of the run to F
   -out DIR       write artifacts (output.txt, result.json, *.csv) into a
@@ -106,6 +121,11 @@ run-only flags:
   -set k=v       override one parameter (repeatable; dotted keys reach
                  nested structs, e.g. -set layout.nodes=30)
   -grid k=v1,v2  sweep a parameter axis (repeatable; axes cross-multiply)
+
+all-only flags:
+  -plan          with -cache: dry-run that diffs every scenario's
+                 estimations against the cache and reports which will
+                 be free, without evaluating anything
 
 "cs all" runs every scenario except report (which is itself the whole
 catalog in one document).`)
@@ -124,6 +144,7 @@ func (m *multiFlag) Set(v string) error {
 type runConfig struct {
 	opts       engine.Options
 	cache      *cache.Executor // non-nil when -cache is set
+	cacheDir   string          // resolved persistent cache directory (when -cache)
 	cpuProfile string
 	memProfile string
 }
@@ -139,9 +160,13 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 	fs.StringVar(&opts.Seed, "seed", "", "override the scenario's Seed parameter")
 	fs.StringVar(&opts.Scale, "scale", "bench", "sampling effort: smoke, bench, or full")
 	fs.IntVar(&opts.Parallel, "parallel", 0, "worker pool width (0 = GOMAXPROCS)")
+	fs.StringVar(&opts.Sampler, "sampler", "", "sampling strategy: plain (default), antithetic, or stratified")
+	fs.Float64Var(&opts.RelErr, "relerr", 0, "grow per-point budgets until this relative standard error is met")
+	fs.IntVar(&opts.MaxSamples, "max-samples", 0, "per-point budget cap for -relerr (0 = the scenario's own budget)")
 	workers := fs.String("workers", "", "distribute shards over cs serve workers (host:port,host:port,...)")
 	useCache := fs.Bool("cache", false, "serve repeated kernel estimations from the persistent result cache")
 	cacheDir := fs.String("cache-dir", "", "persistent cache directory (default: user cache dir)")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "evict least-recently-used persistent entries beyond this size (0 = unbounded)")
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file")
 	fs.StringVar(&opts.OutDir, "out", "", "artifact directory (empty = stdout only)")
@@ -171,15 +196,21 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 			}
 			opts.Executor = remote
 		}
+		if err := sampling.Validate(opts.Sampler); err != nil {
+			return cfg, err
+		}
 		if *useCache {
 			dir, err := resolveCacheDir(*cacheDir)
 			if err != nil {
 				return cfg, err
 			}
-			cfg.cache = cache.New(opts.Executor, cache.Options{Dir: dir})
+			cfg.cacheDir = dir
+			cfg.cache = cache.New(opts.Executor, cache.Options{Dir: dir, MaxBytes: *cacheMaxBytes})
 			opts.Executor = cfg.cache
 		} else if *cacheDir != "" {
 			return cfg, fmt.Errorf("-cache-dir requires -cache")
+		} else if *cacheMaxBytes != 0 {
+			return cfg, fmt.Errorf("-cache-max-bytes requires -cache")
 		}
 		return cfg, nil
 	}
@@ -260,8 +291,8 @@ func runAndReport(cfg runConfig, fn func() error) error {
 		}
 		if cfg.cache != nil {
 			st := cfg.cache.Stats()
-			fmt.Fprintf(os.Stderr, "cache: %d hits, %d disk hits, %d misses (%d entries in memory)\n",
-				st.Hits, st.DiskHits, st.Misses, st.Entries)
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d disk hits, %d misses (%d entries in memory, %d disk evictions)\n",
+				st.Hits, st.DiskHits, st.Misses, st.Entries, st.DiskEvictions)
 		}
 	}
 	return runErr
@@ -362,6 +393,74 @@ func cmdCache(args []string) error {
 	}
 }
 
+// planAll is `cs all -cache -plan`: replay every scenario against a
+// dry-run executor that diffs each estimation request against the
+// persistent cache instead of evaluating it, then report which
+// scenarios will be free before any real work is spent. Misses return
+// zero-mean placeholders, so a scenario whose control flow depends on
+// estimate *values* (threshold searches) may issue a slightly
+// different request mix than the real run — the plan is exact when
+// everything hits and an approximation otherwise.
+func planAll(cfg runConfig) error {
+	planner := cache.NewPlanner(cfg.cacheDir)
+	opts := cfg.opts
+	opts.Executor = planner
+	opts.Stdout = nil // the plan is the output, not the scenario reports
+	opts.OutDir = ""
+	var total cache.PlanSummary
+	fmt.Printf("cache plan (%s):\n", cfg.cacheDir)
+	for _, sc := range engine.Scenarios() {
+		if sc.Name == "report" {
+			continue
+		}
+		if sc.Name == "sampling" {
+			// The sampler shoot-out installs its own local driver (the
+			// evaluation work *is* its benchmark), so it neither reads
+			// the cache nor belongs in a dry run.
+			fmt.Printf("  %-14s skipped (drives its own local executor; never cache-routed)\n", sc.Name)
+			continue
+		}
+		planner.Reset()
+		err := planScenario(sc.Name, opts)
+		s := planner.Summarize()
+		switch {
+		case err != nil:
+			// A scenario choking on placeholder estimates still yields
+			// a partial ledger; report it rather than abort the plan.
+			fmt.Printf("  %-14s %3d estimations, %3d cached, %3d to evaluate (plan incomplete: %v)\n",
+				sc.Name, s.Requests, s.Cached, s.ToEvaluate, err)
+		case s.Requests == 0:
+			fmt.Printf("  %-14s no kernel estimations (unaffected by the cache)\n", sc.Name)
+		case s.ToEvaluate == 0:
+			fmt.Printf("  %-14s %3d estimations, all cached — free\n", sc.Name, s.Requests)
+		default:
+			fmt.Printf("  %-14s %3d estimations, %3d cached, %3d to evaluate (~%d samples)\n",
+				sc.Name, s.Requests, s.Cached, s.ToEvaluate, s.SamplesToEval)
+		}
+		total.Requests += s.Requests
+		total.Cached += s.Cached
+		total.ToEvaluate += s.ToEvaluate
+		total.SamplesCached += s.SamplesCached
+		total.SamplesToEval += s.SamplesToEval
+	}
+	fmt.Printf("total: %d estimations, %d cached, %d to evaluate (~%d samples)\n",
+		total.Requests, total.Cached, total.ToEvaluate, total.SamplesToEval)
+	return nil
+}
+
+// planScenario runs one scenario against the planning executor,
+// containing any panic a placeholder estimate provokes so the rest of
+// the plan still prints.
+func planScenario(name string, opts engine.Options) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	_, err = engine.Run(context.Background(), name, opts)
+	return err
+}
+
 // cmdServe runs a distributed shard worker: an HTTP server that
 // evaluates Monte Carlo shard batches against the kernel registry
 // compiled into this binary. Coordinators reach it via
@@ -398,12 +497,26 @@ func cmdServe(args []string) error {
 func cmdAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	finish := runOptions(fs, false)
+	plan := fs.Bool("plan", false, "with -cache: report which estimations are already cached, without running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg, err := finish()
 	if err != nil {
 		return err
+	}
+	if *plan {
+		if cfg.cache == nil {
+			return fmt.Errorf("-plan requires -cache")
+		}
+		if cfg.opts.RelErr > 0 {
+			// A convergence-driven run issues rounds until the *values*
+			// converge; a dry run with zero-mean placeholders would spin
+			// every point to its cap and report nonsense. Plan the
+			// fixed-budget shape instead.
+			return fmt.Errorf("-plan cannot predict -relerr convergence rounds; plan without -relerr")
+		}
+		return planAll(cfg)
 	}
 	return runAndReport(cfg, func() error {
 		for _, sc := range engine.Scenarios() {

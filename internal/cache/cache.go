@@ -33,7 +33,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 
 	"carriersense/internal/montecarlo"
 )
@@ -50,33 +52,47 @@ type Options struct {
 	MaxEntries int
 	// Dir, when non-empty, persists entries as JSON files under this
 	// directory and consults it on in-memory misses. The directory is
-	// created on first write. Disk entries are not LRU-bounded; `cs
-	// cache clear` empties them.
+	// created on first write.
 	Dir string
+	// MaxBytes, when > 0, bounds the persistent layer: after each disk
+	// write the directory's cache entries are LRU-evicted (by mtime —
+	// disk hits refresh it) until the total size fits. 0 leaves the
+	// disk layer unbounded (`cs cache clear` empties it).
+	MaxBytes int64
 }
 
 // Stats is a snapshot of cache effectiveness counters.
 type Stats struct {
-	Hits       int64 // served from memory
-	DiskHits   int64 // served from the persistent layer
-	Misses     int64 // evaluated by the inner executor
-	Evictions  int64 // LRU evictions
-	WriteFails int64 // best-effort disk writes that failed
-	Entries    int   // current in-memory entry count
+	Hits          int64 // served from memory
+	DiskHits      int64 // served from the persistent layer
+	Misses        int64 // evaluated by the inner executor
+	Evictions     int64 // in-memory LRU evictions
+	DiskEvictions int64 // persistent-layer LRU evictions (MaxBytes bound)
+	WriteFails    int64 // best-effort disk writes that failed
+	Entries       int   // current in-memory entry count
 }
 
 // Executor is a caching montecarlo.Executor. Safe for concurrent use;
 // concurrent misses on the same key may each evaluate (the results are
 // bit-identical, so the duplicate store is harmless).
 type Executor struct {
-	inner montecarlo.Executor
-	max   int
-	dir   string
+	inner    montecarlo.Executor
+	max      int
+	dir      string
+	maxBytes int64
 
 	mu      sync.Mutex
 	entries map[string]*list.Element
 	lru     *list.List // front = most recently used
 	stats   Stats
+	// diskBytes is the running size of the persistent layer, seeded by
+	// one directory scan on the first write and maintained per write
+	// thereafter, so the MaxBytes bound is enforced without re-scanning
+	// the directory on every estimation (an eviction pass re-syncs it).
+	// Best-effort under concurrent executors sharing a directory; an
+	// overshoot is corrected at the next eviction pass.
+	diskBytes   int64
+	diskScanned bool
 }
 
 // entry is one cached result.
@@ -103,11 +119,12 @@ func New(inner montecarlo.Executor, opts Options) *Executor {
 		max = DefaultMaxEntries
 	}
 	return &Executor{
-		inner:   inner,
-		max:     max,
-		dir:     opts.Dir,
-		entries: map[string]*list.Element{},
-		lru:     list.New(),
+		inner:    inner,
+		max:      max,
+		dir:      opts.Dir,
+		maxBytes: opts.MaxBytes,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
 	}
 }
 
@@ -118,10 +135,16 @@ func New(inner montecarlo.Executor, opts Options) *Executor {
 // specialization) would otherwise let a new binary serve a previous
 // binary's persisted bit patterns. Bump this constant with any such
 // change; old persistent entries then miss cleanly instead of lying.
-const KeyEpoch = 1
+//
+// Epoch 2: the key gained the request's sampler name and shard range
+// (the adaptive sampling subsystem), so epoch-1 entries — which could
+// otherwise collide with a plain full-range request's key — miss.
+const KeyEpoch = 2
 
 // Key returns the cache key of a request: a SHA-256 over KeyEpoch and
-// every request field that determines the estimation result.
+// every request field that determines the estimation result — the
+// sampler transforms the draws and the shard range selects the plan
+// slice, so both are part of the result's identity.
 func Key(req montecarlo.Request) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "epoch%d", KeyEpoch)
@@ -130,10 +153,13 @@ func Key(req montecarlo.Request) string {
 	h.Write([]byte{0})
 	h.Write(req.Params)
 	h.Write([]byte{0})
-	var tail [24]byte
+	h.Write([]byte(req.Sampler))
+	h.Write([]byte{0})
+	var tail [32]byte
 	binary.LittleEndian.PutUint64(tail[0:], req.Seed)
 	binary.LittleEndian.PutUint64(tail[8:], uint64(req.Samples))
 	binary.LittleEndian.PutUint64(tail[16:], uint64(req.Dim))
+	binary.LittleEndian.PutUint64(tail[24:], uint64(req.FirstShard))
 	h.Write(tail[:])
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -232,12 +258,14 @@ func fromStates(states []montecarlo.AccumulatorState) []montecarlo.Accumulator {
 // hash collision or a truncated/foreign file degrades to a miss, never
 // to a wrong answer.
 type diskEntry struct {
-	Kernel  string                        `json:"kernel"`
-	Params  json.RawMessage               `json:"params,omitempty"`
-	Seed    uint64                        `json:"seed"`
-	Samples int                           `json:"samples"`
-	Dim     int                           `json:"dim"`
-	States  []montecarlo.AccumulatorState `json:"states"`
+	Kernel     string                        `json:"kernel"`
+	Params     json.RawMessage               `json:"params,omitempty"`
+	Seed       uint64                        `json:"seed"`
+	Samples    int                           `json:"samples"`
+	Dim        int                           `json:"dim"`
+	Sampler    string                        `json:"sampler,omitempty"`
+	FirstShard int                           `json:"first_shard,omitempty"`
+	States     []montecarlo.AccumulatorState `json:"states"`
 }
 
 func (e *Executor) diskPath(key string) string {
@@ -260,9 +288,14 @@ func (e *Executor) loadDisk(key string, req montecarlo.Request) ([]montecarlo.Ac
 	}
 	if de.Kernel != req.Kernel || de.Seed != req.Seed ||
 		de.Samples != req.Samples || de.Dim != req.Dim ||
+		de.Sampler != req.Sampler || de.FirstShard != req.FirstShard ||
 		!bytes.Equal(de.Params, req.Params) || len(de.States) != req.Dim {
 		return nil, false
 	}
+	// Refresh the entry's mtime so the disk layer's LRU eviction sees
+	// reads, not just writes, as recency. Best-effort.
+	now := time.Now()
+	_ = os.Chtimes(e.diskPath(key), now, now)
 	return de.States, true
 }
 
@@ -272,17 +305,20 @@ func (e *Executor) saveDisk(key string, req montecarlo.Request, states []monteca
 	if e.dir == "" {
 		return
 	}
+	var written int64
 	err := func() error {
 		if err := os.MkdirAll(e.dir, 0o755); err != nil {
 			return err
 		}
 		data, err := json.Marshal(diskEntry{
-			Kernel:  req.Kernel,
-			Params:  req.Params,
-			Seed:    req.Seed,
-			Samples: req.Samples,
-			Dim:     req.Dim,
-			States:  states,
+			Kernel:     req.Kernel,
+			Params:     req.Params,
+			Seed:       req.Seed,
+			Samples:    req.Samples,
+			Dim:        req.Dim,
+			Sampler:    req.Sampler,
+			FirstShard: req.FirstShard,
+			States:     states,
 		})
 		if err != nil {
 			return err
@@ -291,11 +327,13 @@ func (e *Executor) saveDisk(key string, req montecarlo.Request, states []monteca
 		if err != nil {
 			return err
 		}
-		if _, err := tmp.Write(append(data, '\n')); err != nil {
+		n, err := tmp.Write(append(data, '\n'))
+		if err != nil {
 			tmp.Close()
 			os.Remove(tmp.Name())
 			return err
 		}
+		written = int64(n)
 		if err := tmp.Close(); err != nil {
 			os.Remove(tmp.Name())
 			return err
@@ -306,7 +344,97 @@ func (e *Executor) saveDisk(key string, req montecarlo.Request, states []monteca
 		e.mu.Lock()
 		e.stats.WriteFails++
 		e.mu.Unlock()
+		return
 	}
+	if e.maxBytes > 0 {
+		e.enforceDiskBudget(int64(written))
+	}
+}
+
+// enforceDiskBudget folds one write into the running directory size
+// and, only when the bound is exceeded, runs an eviction pass. The
+// pass trims an extra 1/8 below MaxBytes so a cache hovering at its
+// bound does not pay a full directory scan on every subsequent write,
+// and re-seeds the running total from what the scan saw.
+func (e *Executor) enforceDiskBudget(written int64) {
+	e.mu.Lock()
+	if !e.diskScanned {
+		e.mu.Unlock()
+		st, err := StatDir(e.dir)
+		e.mu.Lock()
+		if err == nil && !e.diskScanned {
+			e.diskScanned = true
+			e.diskBytes = st.Bytes
+		}
+	} else {
+		e.diskBytes += written
+	}
+	over := e.diskScanned && e.diskBytes > e.maxBytes
+	e.mu.Unlock()
+	if !over {
+		return
+	}
+	lowWater := e.maxBytes - e.maxBytes/8
+	evicted, remaining, err := EvictDir(e.dir, lowWater)
+	if err != nil {
+		return
+	}
+	e.mu.Lock()
+	e.diskBytes = remaining
+	e.stats.DiskEvictions += int64(evicted)
+	e.mu.Unlock()
+}
+
+// EvictDir removes least-recently-used cache entries — mtime order;
+// both writes and disk hits refresh it — until the directory's entries
+// total at most maxBytes. Only cache-owned entry files are considered
+// or touched. It returns the number of entries removed and the bytes
+// remaining. Best-effort on racing removals: an entry already gone
+// just doesn't count.
+func EvictDir(dir string, maxBytes int64) (removed int, remaining int64, err error) {
+	items, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	type fileInfo struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var files []fileInfo
+	var total int64
+	for _, it := range items {
+		if it.IsDir() || !isEntryName(it.Name()) {
+			continue
+		}
+		info, err := it.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, fileInfo{name: it.Name(), size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+	}
+	if total <= maxBytes {
+		return 0, total, nil
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(filepath.Join(dir, f.name)); err != nil {
+			if os.IsNotExist(err) {
+				total -= f.size
+			}
+			continue
+		}
+		total -= f.size
+		removed++
+	}
+	return removed, total, nil
 }
 
 // isEntryName reports whether a file name is a cache-owned entry:

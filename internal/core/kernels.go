@@ -190,15 +190,46 @@ func init() {
 	})
 }
 
+// AveragesRequest builds the serializable core/averages estimation
+// request for an environment and one (R_max, D, D_thresh) point — the
+// entry point the sampling subsystem's tests and benches use to drive
+// the hot-path kernel (with its registered batch form) directly
+// through executors. ok is false when the environment's capacity model
+// has no serializable identity.
+func AveragesRequest(p Params, rmax, d, dThresh float64, seed uint64, n int) (montecarlo.Request, bool) {
+	m := New(p)
+	env, ok := envSpecOf(m.params)
+	if !ok {
+		return montecarlo.Request{}, false
+	}
+	raw, err := json.Marshal(pointParams{Env: env, Rmax: rmax, D: d, DThresh: dThresh})
+	if err != nil {
+		return montecarlo.Request{}, false
+	}
+	return montecarlo.Request{Kernel: KernelAverages, Params: raw, Seed: seed, Samples: n, Dim: nAverages}, true
+}
+
 // estimatePoint routes a two-pair kernel estimation through the
 // installed executor, falling back to running eval on the in-process
 // pool when the environment has no serializable identity. Both paths
-// evaluate the same shard plan with the same closure and are
-// bit-identical.
+// evaluate the same shard plan with the same closure under the
+// installed default sampler and are bit-identical.
 func (m *Model) estimatePoint(kernel string, rmax, d, dThresh float64, eval montecarlo.EvalFunc, seed uint64, n, dim int) []montecarlo.Estimate {
 	if env, ok := envSpecOf(m.params); ok {
 		p := pointParams{Env: env, Rmax: rmax, D: d, DThresh: dThresh}
 		return montecarlo.KernelMeanVec(kernel, p, seed, n, dim)
 	}
-	return montecarlo.MeanVec(seed, n, dim, eval)
+	return localMeanVec(seed, n, dim, eval)
+}
+
+// localMeanVec is the executor-bypassing fallback for environments with
+// no serializable kernel identity. It still honors the installed
+// default sampler — a `-sampler antithetic` run must not silently
+// degrade to plain draws just because the capacity model is foreign.
+func localMeanVec(seed uint64, n, dim int, eval montecarlo.EvalFunc) []montecarlo.Estimate {
+	est, err := montecarlo.SampledMeanVec(montecarlo.DefaultSampler(), seed, n, dim, eval)
+	if err != nil {
+		panic(&montecarlo.ExecError{Kernel: "(local fallback)", Err: err})
+	}
+	return est
 }

@@ -326,7 +326,7 @@ func (mm *MultiModel) EstimateMulti(seed uint64, nSamples int) MultiAverages {
 			Rounds:     mm.p.Rounds,
 		}, seed, nSamples, nMultiIdx)
 	} else {
-		est = montecarlo.MeanVec(seed, nSamples, nMultiIdx, mm.multiEval())
+		est = localMeanVec(seed, nSamples, nMultiIdx, mm.multiEval())
 	}
 	return MultiAverages{
 		NPairs:        n,

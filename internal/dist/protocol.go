@@ -22,6 +22,17 @@ const (
 	PathStats = "/stats"
 )
 
+// ProtoVersion is the shard wire protocol version. Bump it whenever a
+// ShardJob gains meaning an older binary would *silently mis-serve*
+// rather than reject — version 2 added Sampler and FirstShard, which a
+// version-1 worker's JSON decoder ignores, returning plain-sampler
+// full-plan accumulators that merge cleanly into wrong results. Both
+// sides enforce it: workers reject jobs carrying a different version,
+// and the coordinator rejects responses that do not echo it, so a
+// mixed-version fleet fails loudly instead of corrupting the
+// determinism contract.
+const ProtoVersion = 2
+
 // ShardJob is one batch of shard work: the full estimation identity
 // (the embedded montecarlo.Request, whose fields flatten into the
 // JSON) plus the shard indices this worker should evaluate. Any
@@ -29,11 +40,15 @@ const (
 // lets the coordinator re-dispatch a dead worker's shards elsewhere.
 type ShardJob struct {
 	montecarlo.Request
+	Proto   int   `json:"proto"`
 	Indices []int `json:"indices"`
 }
 
 // Validate checks the batch against the shard plan it references.
 func (j ShardJob) Validate() error {
+	if j.Proto != ProtoVersion {
+		return fmt.Errorf("dist: shard job protocol version %d, this worker speaks %d (mixed-version fleet?)", j.Proto, ProtoVersion)
+	}
 	if err := j.Request.Validate(); err != nil {
 		return err
 	}
@@ -43,8 +58,8 @@ func (j ShardJob) Validate() error {
 	count := montecarlo.ShardCount(j.Samples)
 	seen := make(map[int]bool, len(j.Indices))
 	for _, idx := range j.Indices {
-		if idx < 0 || idx >= count {
-			return fmt.Errorf("dist: shard index %d out of range [0,%d)", idx, count)
+		if idx < j.FirstShard || idx >= count {
+			return fmt.Errorf("dist: shard index %d out of range [%d,%d)", idx, j.FirstShard, count)
 		}
 		if seen[idx] {
 			return fmt.Errorf("dist: duplicate shard index %d", idx)
@@ -62,8 +77,11 @@ type ShardResult struct {
 }
 
 // ShardResponse is the worker's answer to a ShardJob, one result per
-// requested index.
+// requested index. Proto echoes the worker's protocol version; a
+// missing echo unmasks a pre-versioning worker that would otherwise
+// silently mis-serve current jobs.
 type ShardResponse struct {
+	Proto   int           `json:"proto"`
 	Results []ShardResult `json:"results"`
 }
 

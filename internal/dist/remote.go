@@ -160,16 +160,20 @@ type dispatch struct {
 	err       error                      // first fatal error; ends the run
 }
 
-func newDispatch(count, loops int) *dispatch {
+// newDispatch prepares the queue for shards [first, count) — the
+// request's planned range (first > 0 for the convergence driver's
+// delta requests). The bookkeeping arrays stay plan-indexed so shard
+// indices never need translating.
+func newDispatch(first, count, loops int) *dispatch {
 	d := &dispatch{
-		pending:   make([]int, count),
+		pending:   make([]int, count-first),
 		attempts:  make([]int, count),
 		results:   make([][]montecarlo.Accumulator, count),
-		remaining: count,
+		remaining: count - first,
 		loops:     loops,
 	}
 	for i := range d.pending {
-		d.pending[i] = i
+		d.pending[i] = first + i
 	}
 	d.cond = sync.NewCond(&d.mu)
 	return d
@@ -287,7 +291,7 @@ func (r *Remote) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 		return nil, fmt.Errorf("dist: all %d workers are dead", len(r.hosts))
 	}
 	count := montecarlo.ShardCount(req.Samples)
-	d := newDispatch(count, len(live)*r.opt.Concurrency)
+	d := newDispatch(req.FirstShard, count, len(live)*r.opt.Concurrency)
 
 	// Cancel in-flight requests the moment the run completes or fails.
 	ctx, cancel := context.WithCancel(ctx)
@@ -314,14 +318,14 @@ func (r *Remote) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 		return nil, err
 	}
 	merged := make([]montecarlo.Accumulator, req.Dim)
-	for idx := 0; idx < count; idx++ {
+	for idx := req.FirstShard; idx < count; idx++ {
 		for j := 0; j < req.Dim; j++ {
 			merged[j].Merge(d.results[idx][j])
 		}
 	}
 	// Credit the fleet's work to this process's throughput counter so
 	// the CLI's samples/sec report covers distributed runs.
-	montecarlo.AddEvaluatedSamples(req.Samples)
+	montecarlo.AddEvaluatedSamples(req.SampleSpan())
 	return merged, nil
 }
 
@@ -400,7 +404,7 @@ func (r *Remote) workerLoop(ctx context.Context, h *hostState, req montecarlo.Re
 // post ships one shard batch to a worker and decodes the per-shard
 // accumulator states, positionally matching indices.
 func (r *Remote) post(ctx context.Context, host string, req montecarlo.Request, indices []int) ([][]montecarlo.Accumulator, error) {
-	job := ShardJob{Request: req, Indices: indices}
+	job := ShardJob{Request: req, Proto: ProtoVersion, Indices: indices}
 	body, err := json.Marshal(job)
 	if err != nil {
 		return nil, &fatalStatusError{msg: fmt.Sprintf("marshal job: %v", err)}
@@ -425,6 +429,13 @@ func (r *Remote) post(ctx context.Context, host string, req montecarlo.Request, 
 	var sr ShardResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 		return nil, fmt.Errorf("decode response from %s: %w", host, err)
+	}
+	if sr.Proto != ProtoVersion {
+		// A pre-versioning worker decodes current jobs but ignores the
+		// fields it does not know (sampler, shard range) — its answers
+		// would be silently wrong, so its missing/old echo is fatal.
+		return nil, &fatalStatusError{msg: fmt.Sprintf(
+			"worker %s speaks shard protocol %d, this coordinator %d (mixed-version fleet?)", host, sr.Proto, ProtoVersion)}
 	}
 	if len(sr.Results) != len(indices) {
 		return nil, fmt.Errorf("worker %s returned %d results for %d shards", host, len(sr.Results), len(indices))

@@ -71,7 +71,7 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp := ShardResponse{Results: make([]ShardResult, len(job.Indices))}
+	resp := ShardResponse{Proto: ProtoVersion, Results: make([]ShardResult, len(job.Indices))}
 	sampleCount := 0
 	for i, idx := range job.Indices {
 		states := make([]montecarlo.AccumulatorState, len(accs[i]))

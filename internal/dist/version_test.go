@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"carriersense/internal/montecarlo"
+)
+
+// The wire protocol version guard: a mixed-version fleet must fail
+// loudly in both directions, never silently mis-serve (an old worker
+// ignores the sampler/shard-range fields and would return cleanly
+// merging but wrong accumulators).
+
+func TestWorkerRejectsWrongProtocolVersion(t *testing.T) {
+	job := ShardJob{
+		Request: montecarlo.Request{Kernel: "core/single", Seed: 1, Samples: montecarlo.ShardSize, Dim: 1},
+		Proto:   ProtoVersion - 1, // an old coordinator (or none at all: 0)
+		Indices: []int{0},
+	}
+	if err := job.Validate(); err == nil || !strings.Contains(err.Error(), "protocol version") {
+		t.Errorf("Validate accepted protocol version %d: %v", job.Proto, err)
+	}
+	job.Proto = ProtoVersion
+	if err := job.Validate(); err != nil {
+		t.Errorf("Validate rejected the current protocol version: %v", err)
+	}
+}
+
+func TestCoordinatorRejectsPreVersioningWorker(t *testing.T) {
+	// A pre-versioning worker evaluates the job but echoes no proto
+	// field. Simulate it: strip the proto from a real server's answer.
+	inner := NewServer()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := httptest.NewRecorder()
+		inner.ServeHTTP(rec, r)
+		var raw map[string]json.RawMessage
+		if rec.Code == http.StatusOK && json.Unmarshal(rec.Body.Bytes(), &raw) == nil {
+			delete(raw, "proto")
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(raw)
+			return
+		}
+		w.WriteHeader(rec.Code)
+		_, _ = w.Write(rec.Body.Bytes())
+	}))
+	defer srv.Close()
+
+	remote, err := NewRemote([]string{strings.TrimPrefix(srv.URL, "http://")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = remote.EstimateVec(context.Background(), montecarlo.Request{
+		Kernel: "core/single", Seed: 1, Samples: montecarlo.ShardSize, Dim: 1,
+		Params: json.RawMessage(`{"env":{"alpha":3,"noise_db":-96,"capacity":{"kind":"shannon"}},"rmax":20,"d":1}`),
+	})
+	if err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Errorf("coordinator accepted a worker with no protocol echo: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"carriersense/internal/montecarlo"
 	"carriersense/internal/plot"
+	"carriersense/internal/sampling"
 )
 
 // Options configures one engine invocation.
@@ -37,6 +38,22 @@ type Options struct {
 	// bit-identical for any executor that honors the shard-order merge
 	// contract.
 	Executor montecarlo.Executor
+	// Sampler names the sampling strategy stamped into every kernel
+	// estimation ("" = plain). Strategies are registered in
+	// internal/sampling; the name becomes part of each request's
+	// identity (dist wire protocol, cache key), so sampled runs keep
+	// the full determinism contract.
+	Sampler string
+	// RelErr, when > 0, switches every kernel estimation into
+	// convergence mode: a sampling.Driver grows each point's budget
+	// geometrically (whole shards, no sample re-evaluated) until the
+	// primary component's relative standard error is at most RelErr.
+	// Each variant's artifacts gain a sampling.csv ledger and
+	// sampling_* metrics.
+	RelErr float64
+	// MaxSamples caps each driven point's budget; 0 caps at the
+	// scenario's own per-point sample count. Requires RelErr > 0.
+	MaxSamples int
 	// Sets are "k=v" parameter overrides applied in order.
 	Sets []string
 	// Grid are "k=v1,v2,..." axes expanded into a cross product of
@@ -54,13 +71,17 @@ type Options struct {
 
 // Result is the outcome of one scenario variant.
 type Result struct {
-	Scenario string             `json:"scenario"`
-	Variant  string             `json:"variant,omitempty"` // grid point label
-	Scale    string             `json:"scale"`
-	Params   any                `json:"params"`
-	Metrics  map[string]float64 `json:"metrics,omitempty"`
-	Text     string             `json:"-"`
-	Elapsed  time.Duration      `json:"-"`
+	Scenario string `json:"scenario"`
+	Variant  string `json:"variant,omitempty"` // grid point label
+	Scale    string `json:"scale"`
+	// Sampler is the effective sampling strategy the variant ran under.
+	Sampler string `json:"sampler"`
+	// RelErr is the convergence target (0 = fixed budgets).
+	RelErr  float64            `json:"rel_err,omitempty"`
+	Params  any                `json:"params"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Text    string             `json:"-"`
+	Elapsed time.Duration      `json:"-"`
 
 	csvs map[string][]byte
 }
@@ -153,12 +174,25 @@ func Run(ctx context.Context, name string, opts Options) ([]*Result, error) {
 		}
 		defer montecarlo.ResetMaxWorkers()
 	}
-	if opts.Executor != nil {
-		// Kernel-routed estimators have no ctx parameter, so the
-		// executor hook receives context.Background(); bind the run's
-		// context here so cancellation reaches in-flight shard work.
-		montecarlo.SetExecutor(boundExecutor{ctx: ctx, inner: opts.Executor})
-		defer montecarlo.SetExecutor(nil)
+	if opts.RelErr < 0 {
+		return nil, fmt.Errorf("engine: -relerr must be > 0, got %g", opts.RelErr)
+	}
+	if opts.MaxSamples < 0 {
+		return nil, fmt.Errorf("engine: -max-samples must be >= 1, got %d", opts.MaxSamples)
+	}
+	if opts.MaxSamples > 0 && opts.RelErr == 0 {
+		return nil, fmt.Errorf("engine: -max-samples requires -relerr")
+	}
+	if err := sampling.Validate(opts.Sampler); err != nil {
+		return nil, err
+	}
+	if opts.Sampler != "" {
+		// Stamp the strategy into every kernel request issued during
+		// the run (the executor seam's sampler analogue).
+		if err := montecarlo.SetDefaultSampler(opts.Sampler); err != nil {
+			return nil, err
+		}
+		defer func() { _ = montecarlo.SetDefaultSampler("") }()
 	}
 	scale := opts.Scale
 	if scale == "" {
@@ -271,6 +305,29 @@ func runVariant(ctx context.Context, sc Scenario, point GridPoint, scale string,
 			panic(r)
 		}
 	}()
+	// Install the variant's executor chain: the configured executor
+	// (worker fleet, cache, or the in-process default), wrapped in a
+	// fresh convergence driver when -relerr is set — fresh per variant
+	// so each variant's sampling ledger is its own. Kernel-routed
+	// estimators have no ctx parameter, so the executor hook receives
+	// context.Background(); bind the run's context here so
+	// cancellation reaches in-flight shard work.
+	var driver *sampling.Driver
+	exec := opts.Executor
+	if opts.RelErr > 0 {
+		driver, err = sampling.NewDriver(exec, sampling.DriverOptions{
+			RelErr:     opts.RelErr,
+			MaxSamples: opts.MaxSamples,
+		})
+		if err != nil {
+			return nil, err
+		}
+		exec = driver
+	}
+	if exec != nil {
+		montecarlo.SetExecutor(boundExecutor{ctx: ctx, inner: exec})
+		defer montecarlo.SetExecutor(nil)
+	}
 	params := sc.NewParams()
 	if opts.Seed != "" && HasParam(params, "seed") {
 		if err := SetParam(params, "seed", opts.Seed); err != nil {
@@ -297,10 +354,16 @@ func runVariant(ctx context.Context, sc Scenario, point GridPoint, scale string,
 		}
 	}
 
+	sampler := opts.Sampler
+	if sampler == "" {
+		sampler = montecarlo.SamplerPlain
+	}
 	res = &Result{
 		Scenario: sc.Name,
 		Variant:  point.Label(),
 		Scale:    scale,
+		Sampler:  sampler,
+		RelErr:   opts.RelErr,
 		Params:   params,
 	}
 	var text strings.Builder
@@ -323,9 +386,50 @@ func runVariant(ctx context.Context, sc Scenario, point GridPoint, scale string,
 	if err := sc.Run(rc); err != nil {
 		return nil, err
 	}
+	if driver != nil {
+		recordSampling(rc, driver)
+	}
 	res.Elapsed = time.Since(start)
 	res.Text = text.String()
 	return res, nil
+}
+
+// recordSampling appends the convergence driver's per-point ledger to
+// the variant's report: a sampling.csv artifact (one row per driven
+// estimation point — sampler, samples spent, achieved relative error,
+// converged or capped), headline sampling_* metrics in result.json,
+// and one summary line in the text report. Everything here is a pure
+// function of (params, seed, sampler, target), so the output stays
+// byte-stable under the determinism contract.
+func recordSampling(rc *RunContext, driver *sampling.Driver) {
+	reports := driver.Reports()
+	if len(reports) == 0 {
+		return
+	}
+	rows := make([][]string, 0, len(reports))
+	for _, p := range reports {
+		rows = append(rows, []string{
+			p.Kernel,
+			p.Sampler,
+			fmt.Sprintf("%d", p.Seed),
+			fmt.Sprintf("%d", p.Budget),
+			fmt.Sprintf("%d", p.Spent),
+			fmt.Sprintf("%d", p.Rounds),
+			fmt.Sprintf("%.6g", p.RelErr),
+			fmt.Sprintf("%g", p.Target),
+			fmt.Sprintf("%t", p.Converged),
+		})
+	}
+	rc.CSV("sampling", []string{
+		"kernel", "sampler", "seed", "budget", "spent", "rounds", "rel_err", "target", "converged",
+	}, rows)
+	s := driver.Summarize()
+	rc.Metric("sampling_points", float64(s.Points))
+	rc.Metric("sampling_spent", float64(s.Spent))
+	rc.Metric("sampling_converged", float64(s.Converged))
+	rc.Metric("sampling_capped", float64(s.Capped))
+	rc.Printf("\n[adaptive sampling] %d points, %d samples spent, %d converged, %d capped (target relerr %g)\n",
+		s.Points, s.Spent, s.Converged, s.Capped, reports[0].Target)
 }
 
 func writeArtifacts(runDir string, res *Result) error {

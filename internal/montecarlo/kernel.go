@@ -163,20 +163,35 @@ func buildEval(name string, params json.RawMessage, dim int) (kernelEval, error)
 }
 
 // Request is one complete, serializable estimation: a registered
-// kernel, its parameters, and the sample plan. The shard plan it
-// implies — PlanShards(Seed, Samples) — is machine-independent, so any
-// executor that evaluates every shard and merges in shard order
-// reproduces the in-process result exactly.
+// kernel, its parameters, the sample plan, and the sampling strategy.
+// The shard plan it implies — PlanShards(Seed, Samples) — is
+// machine-independent, so any executor that evaluates every planned
+// shard and merges in shard order reproduces the in-process result
+// exactly.
+//
+// FirstShard, when > 0, restricts the request to shards [FirstShard,
+// ShardCount(Samples)) of that plan. Shard streams depend only on
+// (Seed, index), so a ranged request's accumulators are exactly the
+// tail of the full request's — the seam the convergence driver
+// (internal/sampling) uses to grow a budget geometrically without
+// re-evaluating a single sample, on any executor.
 type Request struct {
 	Kernel  string          `json:"kernel"`
 	Params  json.RawMessage `json:"params,omitempty"`
 	Seed    uint64          `json:"seed"`
 	Samples int             `json:"samples"`
 	Dim     int             `json:"dim"`
+	// Sampler names the registered sampling strategy ("" = plain). It
+	// is part of the estimation's identity: it travels over the dist
+	// wire and is folded into the cache key.
+	Sampler string `json:"sampler,omitempty"`
+	// FirstShard is the first shard index of the plan to evaluate
+	// (0 = the whole plan).
+	FirstShard int `json:"first_shard,omitempty"`
 }
 
 // Validate reports whether the request is well-formed (it does not
-// check that the kernel is registered; BuildKernel does).
+// check that the kernel or sampler is registered; buildEval does).
 func (r Request) Validate() error {
 	if r.Kernel == "" {
 		return fmt.Errorf("montecarlo: request missing kernel name")
@@ -187,7 +202,17 @@ func (r Request) Validate() error {
 	if r.Dim < 1 {
 		return fmt.Errorf("montecarlo: request dim %d (must be >= 1)", r.Dim)
 	}
+	if r.FirstShard < 0 || r.FirstShard >= ShardCount(r.Samples) {
+		return fmt.Errorf("montecarlo: request first shard %d out of plan range [0,%d)", r.FirstShard, ShardCount(r.Samples))
+	}
 	return nil
+}
+
+// SampleSpan returns the number of samples the request actually
+// evaluates: Samples minus the FirstShard-skipped prefix. Executors
+// use it to credit throughput accounting.
+func (r Request) SampleSpan() int {
+	return r.Samples - r.FirstShard*ShardSize
 }
 
 // Executor evaluates a Request's full shard plan and returns one
@@ -231,9 +256,9 @@ func (localExecutor) EstimateVec(ctx context.Context, req Request) ([]Accumulato
 	return RunRequest(ctx, req)
 }
 
-// RunRequest evaluates a request in-process: every shard through the
-// worker pool, merged in shard order. It backs both the default local
-// executor and dist.Local.
+// RunRequest evaluates a request in-process: every planned shard (from
+// FirstShard on) through the worker pool, merged in shard order. It
+// backs both the default local executor and dist.Local.
 func RunRequest(ctx context.Context, req Request) ([]Accumulator, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -245,10 +270,14 @@ func RunRequest(ctx context.Context, req Request) ([]Accumulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	shards := PlanShards(req.Seed, req.Samples)
+	sp, err := lookupSampler(req.Sampler)
+	if err != nil {
+		return nil, err
+	}
+	shards := PlanShards(req.Seed, req.Samples)[req.FirstShard:]
 	accs := make([][]Accumulator, len(shards))
 	RunShards(shards, func(s Shard) {
-		accs[s.Index] = evalShard(ev, s, req.Dim)
+		accs[s.Index-req.FirstShard] = evalShard(ev, s, req.Dim, sp)
 	})
 	merged := make([]Accumulator, req.Dim)
 	for i := range accs {
@@ -274,12 +303,16 @@ func EvaluateShards(req Request, indices []int) ([][]Accumulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp, err := lookupSampler(req.Sampler)
+	if err != nil {
+		return nil, err
+	}
 	shards := PlanShards(req.Seed, req.Samples)
 	selected := make([]Shard, len(indices))
 	position := make(map[int]int, len(indices))
 	for i, idx := range indices {
-		if idx < 0 || idx >= len(shards) {
-			return nil, fmt.Errorf("montecarlo: shard index %d out of range [0,%d)", idx, len(shards))
+		if idx < req.FirstShard || idx >= len(shards) {
+			return nil, fmt.Errorf("montecarlo: shard index %d out of range [%d,%d)", idx, req.FirstShard, len(shards))
 		}
 		if _, dup := position[idx]; dup {
 			return nil, fmt.Errorf("montecarlo: duplicate shard index %d", idx)
@@ -289,7 +322,7 @@ func EvaluateShards(req Request, indices []int) ([][]Accumulator, error) {
 	}
 	results := make([][]Accumulator, len(indices))
 	RunShards(selected, func(s Shard) {
-		results[position[s.Index]] = evalShard(ev, s, req.Dim)
+		results[position[s.Index]] = evalShard(ev, s, req.Dim, sp)
 	})
 	return results, nil
 }
@@ -301,11 +334,19 @@ const batchChunk = 512
 
 // evalShard evaluates one shard of a dim-component integrand exactly
 // the way MeanVec does, so kernel-routed and closure-based estimations
-// produce bit-identical accumulators. Kernels with a registered batch
-// form are evaluated a chunk at a time into a preallocated flat
-// buffer; rows are accumulated in sample order, so the two paths
-// produce identical accumulators.
-func evalShard(ev kernelEval, s Shard, dim int) []Accumulator {
+// produce bit-identical accumulators. Under the plain sampler, kernels
+// with a registered batch form are evaluated a chunk at a time into a
+// preallocated flat buffer; rows are accumulated in sample order, so
+// the two paths produce identical accumulators. Under any other
+// sampler the per-sample form runs over the sampler's stream, with
+// each group of Group() consecutive samples folded into one
+// accumulator observation (their mean) — for antithetic pairs that is
+// what lets the accumulator's standard error see the negative
+// within-pair covariance instead of only the marginal variance.
+func evalShard(ev kernelEval, s Shard, dim int, sp Sampler) []Accumulator {
+	if _, plain := sp.(plainSampler); !plain && sp != nil {
+		return evalShardSampled(ev, s, dim, sp)
+	}
 	accs := make([]Accumulator, dim)
 	defer addEvaluatedSamples(s.N)
 	if ev.batch != nil {
@@ -347,6 +388,45 @@ func evalShard(ev kernelEval, s Shard, dim int) []Accumulator {
 	return accs
 }
 
+// evalShardSampled is the sampler-transformed shard evaluation: one
+// stream per shard, one Next() per sample, groups averaged into the
+// accumulators. The sample order, the group boundaries, and the
+// accumulation order are all pure functions of (shard, sampler), so
+// the result is bit-identical on any executor at any parallelism. A
+// trailing partial group (only possible in a plan's partial last
+// shard, since Group divides ShardSize) averages over the samples it
+// has.
+func evalShardSampled(ev kernelEval, s Shard, dim int, sp Sampler) []Accumulator {
+	accs := make([]Accumulator, dim)
+	defer addEvaluatedSamples(s.N)
+	stream := sp.Stream(s.N, s.Src)
+	group := sp.Group()
+	out := make([]float64, dim)
+	sum := make([]float64, dim)
+	for i := 0; i < s.N; {
+		for j := range sum {
+			sum[j] = 0
+		}
+		k := 0
+		for ; k < group && i < s.N; k++ {
+			src := stream.Next()
+			for j := range out {
+				out[j] = 0
+			}
+			ev.fn(src, out)
+			for j, v := range out {
+				sum[j] += v
+			}
+			i++
+		}
+		inv := 1 / float64(k)
+		for j := range sum {
+			accs[j].Add(sum[j] * inv)
+		}
+	}
+	return accs
+}
+
 // ExecError is the panic value raised when a kernel-routed estimation
 // fails (an unreachable worker fleet, an unregistered kernel, bad
 // parameters). The core estimators keep plain value-returning
@@ -365,15 +445,16 @@ func (e *ExecError) Error() string {
 func (e *ExecError) Unwrap() error { return e.Err }
 
 // KernelMeanVec estimates the means of a registered vector-valued
-// kernel through the installed executor. Params must marshal to the
-// JSON the kernel's factory expects. Results are bit-identical to
-// MeanVec over the factory-built EvalFunc, at any executor.
+// kernel through the installed executor, under the installed default
+// sampler. Params must marshal to the JSON the kernel's factory
+// expects. Results are bit-identical to MeanVec over the factory-built
+// EvalFunc (for the plain sampler), at any executor.
 func KernelMeanVec(kernel string, params any, seed uint64, n, dim int) []Estimate {
 	raw, err := json.Marshal(params)
 	if err != nil {
 		panic(&ExecError{Kernel: kernel, Err: fmt.Errorf("marshal params: %w", err)})
 	}
-	req := Request{Kernel: kernel, Params: raw, Seed: seed, Samples: n, Dim: dim}
+	req := Request{Kernel: kernel, Params: raw, Seed: seed, Samples: n, Dim: dim, Sampler: DefaultSampler()}
 	accs, err := CurrentExecutor().EstimateVec(context.Background(), req)
 	if err != nil {
 		panic(&ExecError{Kernel: kernel, Err: err})

@@ -267,7 +267,11 @@ func MeanVec(seed uint64, n, dim int, f func(*rng.Source, []float64)) []Estimate
 
 // MeanToRelErr estimates E[f], growing the sample count geometrically
 // (starting at n0, capped at nMax) until the relative standard error
-// of the mean drops below relErr.
+// of the mean drops below relErr. The second return reports whether
+// the target was actually reached: false means the estimate ran into
+// nMax still above the target, which callers (the threshold searches,
+// the convergence driver's artifact output) must be able to tell apart
+// from a genuine convergence.
 //
 // Growth is incremental: each round extends the live shard plan —
 // partial shards continue their random streams, new shards are split
@@ -276,7 +280,7 @@ func MeanVec(seed uint64, n, dim int, f func(*rng.Source, []float64)) []Estimate
 // the total work). The result after any round is bit-identical to
 // Mean(seed, n) at that round's n, because shard streams, Welford add
 // order, and the shard-order merge are all unchanged.
-func MeanToRelErr(seed uint64, n0, nMax int, relErr float64, f func(*rng.Source) float64) Estimate {
+func MeanToRelErr(seed uint64, n0, nMax int, relErr float64, f func(*rng.Source) float64) (Estimate, bool) {
 	if n0 < 1 {
 		n0 = 1
 	}
@@ -317,8 +321,11 @@ func MeanToRelErr(seed uint64, n0, nMax int, relErr float64, f func(*rng.Source)
 			total.Merge(accs[i])
 		}
 		est := total.Estimate()
-		if est.RelErr() <= relErr || n >= nMax {
-			return est
+		if est.RelErr() <= relErr {
+			return est, true
+		}
+		if n >= nMax {
+			return est, false
 		}
 		n *= 4
 		if n > nMax {

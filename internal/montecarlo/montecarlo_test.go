@@ -77,9 +77,12 @@ func TestMeanVecMatchesMean(t *testing.T) {
 }
 
 func TestMeanToRelErr(t *testing.T) {
-	est := MeanToRelErr(3, 1_000, 1_000_000, 0.005, func(src *rng.Source) float64 {
+	est, converged := MeanToRelErr(3, 1_000, 1_000_000, 0.005, func(src *rng.Source) float64 {
 		return 5 + src.Normal(0, 1)
 	})
+	if !converged {
+		t.Errorf("converged = false, want true")
+	}
 	if est.RelErr() > 0.005 {
 		t.Errorf("rel err = %v, want <= 0.005", est.RelErr())
 	}
@@ -95,7 +98,7 @@ func TestMeanToRelErrMatchesMeanBitwise(t *testing.T) {
 	// streams continue rather than restart, new shards split from the
 	// root in shard order, and the merge stays in shard order.
 	f := func(src *rng.Source) float64 { return 5 + src.Normal(0, 1) }
-	est := MeanToRelErr(9, 500, 3_000_000, 0.002, f)
+	est, _ := MeanToRelErr(9, 500, 3_000_000, 0.002, f)
 	if est.N <= 500 {
 		t.Fatalf("test needs growth rounds; converged at n0 (N=%d)", est.N)
 	}
@@ -110,7 +113,7 @@ func TestMeanToRelErrEvaluatesEachSampleOnce(t *testing.T) {
 	// sample count, not the ~1.33x of re-evaluating every prior round.
 	f := func(src *rng.Source) float64 { return 5 + src.Normal(0, 1) }
 	before := EvaluatedSamples()
-	est := MeanToRelErr(10, 500, 3_000_000, 0.002, f)
+	est, _ := MeanToRelErr(10, 500, 3_000_000, 0.002, f)
 	evaluated := EvaluatedSamples() - before
 	if est.N <= 500 {
 		t.Fatalf("test needs growth rounds; converged at n0 (N=%d)", est.N)
@@ -123,11 +126,14 @@ func TestMeanToRelErrEvaluatesEachSampleOnce(t *testing.T) {
 func TestMeanToRelErrHitsCap(t *testing.T) {
 	// Zero-mean integrand: relative error never converges; must stop
 	// at nMax rather than loop forever.
-	est := MeanToRelErr(4, 100, 5_000, 1e-6, func(src *rng.Source) float64 {
+	est, converged := MeanToRelErr(4, 100, 5_000, 1e-6, func(src *rng.Source) float64 {
 		return src.Normal(0, 1)
 	})
 	if est.N > 5_000 {
 		t.Errorf("N = %d exceeded cap", est.N)
+	}
+	if converged {
+		t.Errorf("converged = true for a capped run; callers must be able to tell capped from converged")
 	}
 }
 

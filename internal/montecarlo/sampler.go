@@ -1,0 +1,184 @@
+package montecarlo
+
+// The sampler seam: a Sampler rewrites how one shard's samples are
+// drawn (and, for paired strategies, how they are folded into the
+// accumulator) without the integrand knowing. Strategies are
+// registered by name — the name travels in Request.Sampler, through
+// the dist wire protocol and the cache key — so a sampler-transformed
+// estimation reproduces bit-identically on any executor, exactly like
+// the kernels themselves.
+//
+// The registry mirrors the kernel registry: montecarlo registers the
+// degenerate "plain" strategy (raw shard streams, one observation per
+// sample); internal/sampling registers the variance-reduction
+// strategies (antithetic, stratified) in its init. Both the
+// coordinator and `cs serve` workers link internal/sampling via the
+// engine, so a named sampler rebuilds identically on either side.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"carriersense/internal/rng"
+)
+
+// SamplerPlain is the built-in identity strategy: every sample draws
+// directly from the shard's raw stream and contributes one accumulator
+// observation. An empty Request.Sampler means SamplerPlain.
+const SamplerPlain = "plain"
+
+// SampleStream yields the draw source for each sample of one shard,
+// in sample order. Next is called exactly once per sample; the
+// returned source must be used for all of that sample's variates.
+// Streams are shard-local and need not be safe for concurrent use.
+type SampleStream interface {
+	Next() *rng.Source
+}
+
+// Sampler is one named sampling strategy. Implementations must be
+// stateless (safe for concurrent Stream calls from the shard pool);
+// all per-shard state lives in the SampleStream.
+type Sampler interface {
+	// Group returns how many consecutive samples fold into one
+	// accumulator observation (their mean): 1 for independent
+	// samples, 2 for antithetic pairs. Group must divide ShardSize so
+	// groups never straddle shard boundaries.
+	Group() int
+	// Stream starts one shard evaluation of n samples drawing from
+	// src, the shard's deterministic raw stream.
+	Stream(n int, src *rng.Source) SampleStream
+}
+
+var (
+	samplerMu sync.RWMutex
+	samplers  = map[string]Sampler{}
+)
+
+// RegisterSampler adds a named strategy to the global registry.
+// Registration happens in init() (this package registers plain,
+// internal/sampling the rest); duplicates, empty names, and group
+// sizes that do not divide ShardSize panic so a broken catalog fails
+// loudly at startup.
+func RegisterSampler(name string, s Sampler) {
+	if name == "" || s == nil {
+		panic("montecarlo: invalid sampler registration")
+	}
+	if g := s.Group(); g < 1 || ShardSize%g != 0 {
+		panic(fmt.Sprintf("montecarlo: sampler %q group %d must divide ShardSize %d", name, s.Group(), ShardSize))
+	}
+	samplerMu.Lock()
+	defer samplerMu.Unlock()
+	if _, dup := samplers[name]; dup {
+		panic(fmt.Sprintf("montecarlo: duplicate sampler %q", name))
+	}
+	samplers[name] = s
+}
+
+// SamplerNames returns every registered sampler name, sorted.
+func SamplerNames() []string {
+	samplerMu.RLock()
+	defer samplerMu.RUnlock()
+	out := make([]string, 0, len(samplers))
+	for name := range samplers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasSampler reports whether name is registered ("" counts as plain).
+func HasSampler(name string) bool {
+	if name == "" {
+		return true
+	}
+	samplerMu.RLock()
+	defer samplerMu.RUnlock()
+	_, ok := samplers[name]
+	return ok
+}
+
+// lookupSampler resolves a sampler name; "" resolves to plain.
+func lookupSampler(name string) (Sampler, error) {
+	if name == "" {
+		name = SamplerPlain
+	}
+	samplerMu.RLock()
+	s, ok := samplers[name]
+	samplerMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("montecarlo: unknown sampler %q (registered: %v)", name, SamplerNames())
+	}
+	return s, nil
+}
+
+// plainSampler is the identity strategy.
+type plainSampler struct{}
+
+func (plainSampler) Group() int { return 1 }
+
+func (plainSampler) Stream(n int, src *rng.Source) SampleStream { return rawStream{src: src} }
+
+type rawStream struct{ src *rng.Source }
+
+func (r rawStream) Next() *rng.Source { return r.src }
+
+func init() {
+	RegisterSampler(SamplerPlain, plainSampler{})
+}
+
+// defaultSampler is the process-wide sampler applied to kernel-routed
+// estimations whose call sites predate the sampler seam (the model's
+// estimators). engine.Run installs the CLI's -sampler choice here for
+// the duration of a run, exactly as it installs the executor.
+var (
+	defaultSamplerMu sync.RWMutex
+	defaultSampler   = ""
+)
+
+// SetDefaultSampler installs the sampler name KernelMeanVec stamps
+// into requests. The name must be registered; "" restores plain.
+func SetDefaultSampler(name string) error {
+	if !HasSampler(name) {
+		return fmt.Errorf("montecarlo: unknown sampler %q (registered: %v)", name, SamplerNames())
+	}
+	defaultSamplerMu.Lock()
+	defaultSampler = name
+	defaultSamplerMu.Unlock()
+	return nil
+}
+
+// DefaultSampler returns the installed default sampler name ("" =
+// plain).
+func DefaultSampler() string {
+	defaultSamplerMu.RLock()
+	defer defaultSamplerMu.RUnlock()
+	return defaultSampler
+}
+
+// SampledMeanVec estimates the means of a vector-valued integrand with
+// the named sampler applied, on the in-process pool. It is the
+// sampler-aware form of MeanVec, used by estimators whose environment
+// has no serializable kernel identity and therefore cannot route
+// through an executor; results for sampler "" / "plain" are
+// bit-identical to MeanVec.
+func SampledMeanVec(sampler string, seed uint64, n, dim int, f EvalFunc) ([]Estimate, error) {
+	sp, err := lookupSampler(sampler)
+	if err != nil {
+		return nil, err
+	}
+	shards := PlanShards(seed, n)
+	accs := make([][]Accumulator, len(shards))
+	RunShards(shards, func(s Shard) {
+		accs[s.Index] = evalShard(kernelEval{fn: f}, s, dim, sp)
+	})
+	result := make([]Estimate, dim)
+	for j := 0; j < dim; j++ {
+		var total Accumulator
+		for i := range accs {
+			total.Merge(accs[i][j])
+		}
+		result[j] = total.Estimate()
+	}
+	return result, nil
+}

@@ -21,8 +21,19 @@ import (
 // Source is a deterministic random variate generator. It wraps a PCG
 // generator from math/rand/v2 and adds the distributions used by the
 // propagation and simulation packages.
+//
+// A Source normally draws straight from its PCG generator. A Source
+// built with WithUniforms instead derives every variate from a caller
+// supplied scalar uniform stream via inverse transforms (Normal through
+// NormalQuantile, one uniform per variate). That is the seam the
+// variance-reduction samplers in internal/sampling use: recording,
+// mirroring (u → 1−u), or stratifying the uniforms transforms every
+// downstream variate coherently, without the integrands knowing.
 type Source struct {
 	r *rand.Rand
+	// uni, when non-nil, supplies every uniform; all variates then go
+	// through inverse transforms so they are monotone in the uniforms.
+	uni func() float64
 }
 
 // New returns a Source seeded with the given 64-bit seed. Two Sources
@@ -31,32 +42,94 @@ func New(seed uint64) *Source {
 	return &Source{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
 }
 
+// WithUniforms returns a Source that derives every variate from the
+// given uniform stream via inverse transforms. next must yield values
+// in [0, 1). Two WithUniforms sources over streams u and 1−u produce
+// antithetic (componentwise monotone-mirrored) variate streams, which
+// is what makes the transformation useful for variance reduction.
+func WithUniforms(next func() float64) *Source {
+	return &Source{uni: next}
+}
+
 // Split derives a new independent Source from this one. The derived
 // stream is a deterministic function of the parent's state, so a fixed
 // sequence of Split calls is reproducible.
 func (s *Source) Split() *Source {
+	if s.uni != nil {
+		return &Source{r: rand.New(rand.NewPCG(s.hookedUint64(), s.hookedUint64()))}
+	}
 	return &Source{r: rand.New(rand.NewPCG(s.r.Uint64(), s.r.Uint64()))}
 }
 
 // Float64 returns a uniform variate in [0, 1).
-func (s *Source) Float64() float64 { return s.r.Float64() }
+func (s *Source) Float64() float64 {
+	if s.uni != nil {
+		return s.uni()
+	}
+	return s.r.Float64()
+}
+
+// hookedUint64 composes a 64-bit value from two hook uniforms (a
+// float64 uniform carries 53 bits; two cover the word). Only used to
+// seed derived generators — kernels draw distributions, not raw words.
+func (s *Source) hookedUint64() uint64 {
+	hi := uint64(s.uni() * (1 << 32))
+	lo := uint64(s.uni() * (1 << 32))
+	return hi<<32 | lo
+}
 
 // Uint64 returns a uniform 64-bit value.
-func (s *Source) Uint64() uint64 { return s.r.Uint64() }
+func (s *Source) Uint64() uint64 {
+	if s.uni != nil {
+		return s.hookedUint64()
+	}
+	return s.r.Uint64()
+}
 
 // IntN returns a uniform integer in [0, n).
-func (s *Source) IntN(n int) int { return s.r.IntN(n) }
+func (s *Source) IntN(n int) int {
+	if s.uni != nil {
+		if n <= 0 {
+			panic("rng: IntN with n <= 0")
+		}
+		i := int(s.uni() * float64(n))
+		if i >= n { // u == 1-ulp rounding guard
+			i = n - 1
+		}
+		return i
+	}
+	return s.r.IntN(n)
+}
 
 // Uniform returns a uniform variate in [lo, hi).
 func (s *Source) Uniform(lo, hi float64) float64 {
-	return lo + (hi-lo)*s.r.Float64()
+	return lo + (hi-lo)*s.Float64()
 }
 
 // Normal returns a Gaussian variate with the given mean and standard
-// deviation.
+// deviation. Plain sources use the ziggurat sampler; uniform-hooked
+// sources use the inverse CDF (one uniform per variate, monotone in
+// it), clamped away from 0 and 1 so a mirrored stream cannot produce
+// an infinite variate.
 func (s *Source) Normal(mean, stddev float64) float64 {
+	if s.uni != nil {
+		u := s.uni()
+		if u < minQuantileU {
+			u = minQuantileU
+		} else if u > maxQuantileU {
+			u = maxQuantileU
+		}
+		return mean + stddev*NormalQuantile(u)
+	}
 	return mean + stddev*s.r.NormFloat64()
 }
+
+// Quantile clamp bounds: the open unit interval minus one double ulp on
+// each side, keeping inverse-transformed variates finite.
+const (
+	minQuantileU = 0x1p-53
+	maxQuantileU = 1 - 0x1p-53
+)
 
 // ln10Over10 converts a dB exponent to a natural one: 10^(x/10) =
 // e^(x·ln10/10). math.Exp is substantially cheaper than math.Pow on
@@ -77,15 +150,16 @@ func (s *Source) LognormalDB(sigmaDB float64) float64 {
 // Exp returns an exponential variate with the given mean. The power of
 // a Rayleigh-faded signal is exponentially distributed, so this is the
 // narrowband "fast fading" power factor with mean 1 when mean == 1.
+// Already an inverse transform, so it is monotone under a uniform hook.
 func (s *Source) Exp(mean float64) float64 {
-	return -mean * math.Log(1-s.r.Float64())
+	return -mean * math.Log(1-s.Float64())
 }
 
 // Rayleigh returns a Rayleigh-distributed amplitude with scale sigma.
 // The appendix derives this as the amplitude of a zero-mean bivariate
 // Gaussian signal vector (no line of sight).
 func (s *Source) Rayleigh(sigma float64) float64 {
-	return sigma * math.Sqrt(-2*math.Log(1-s.r.Float64()))
+	return sigma * math.Sqrt(-2*math.Log(1-s.Float64()))
 }
 
 // Rician returns a Rician-distributed amplitude with line-of-sight
@@ -129,7 +203,17 @@ func (s *Source) WidebandFadePower(nsub int) float64 {
 }
 
 // Shuffle randomly permutes the first n elements using swap.
+// Uniform-hooked sources run their own Fisher-Yates over hooked IntN
+// draws (one uniform per swap), keeping the permutation a pure
+// function of the uniform stream.
 func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	if s.uni != nil {
+		for i := n - 1; i > 0; i-- {
+			j := s.IntN(i + 1)
+			swap(i, j)
+		}
+		return
+	}
 	s.r.Shuffle(n, swap)
 }
 

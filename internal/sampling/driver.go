@@ -1,0 +1,211 @@
+package sampling
+
+// The convergence driver: a montecarlo.Executor decorator that
+// replaces each fixed-budget estimation with geometrically growing
+// whole-shard rounds until the primary component's relative standard
+// error meets a target. It is the executor-seam generalization of
+// montecarlo.MeanToRelErr's incremental shard-plan growth: because a
+// shard's random stream depends only on (seed, index), round k+1 can
+// be issued as a *ranged* request — Request.FirstShard pointing past
+// the shards rounds 1..k already evaluated — and its accumulators
+// merged after theirs, in shard order. No sample is ever re-evaluated,
+// on any executor: the in-process pool, a `cs serve` fleet, or the
+// cache (where each round's delta request is its own cache entry, so a
+// repeated convergence run replays the identical round schedule and
+// hits on every one).
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"carriersense/internal/montecarlo"
+)
+
+// DriverOptions configure a convergence driver.
+type DriverOptions struct {
+	// RelErr is the target relative standard error of the estimation's
+	// primary component (component 0 — every kernel in internal/core
+	// orders its headline quantity first). Must be > 0.
+	RelErr float64
+	// MaxSamples caps the per-point budget; 0 uses each request's own
+	// Samples field as the cap (the scenario's configured budget), so
+	// convergence can only save samples, never exceed the plan.
+	MaxSamples int
+	// MinSamples is the starting budget, rounded up to whole shards;
+	// 0 starts at one shard (montecarlo.ShardSize samples).
+	MinSamples int
+	// Growth is the budget multiplier per round (rounded up to whole
+	// shards); 0 means 2. Smaller factors track the true
+	// samples-to-target more tightly at the cost of more rounds —
+	// rounds are cheap, since each evaluates only its delta.
+	Growth float64
+}
+
+// PointReport records one driven estimation point — what a scenario's
+// artifacts show per point: which sampler ran, what was spent, what
+// error was achieved, and whether the target was actually reached
+// (Converged false means the point hit its cap still above target,
+// the distinction MeanToRelErr's callers historically could not see).
+type PointReport struct {
+	Kernel    string  `json:"kernel"`
+	Sampler   string  `json:"sampler"`
+	Seed      uint64  `json:"seed"`
+	Dim       int     `json:"dim"`
+	Budget    int     `json:"budget"`  // the cap this point ran under
+	Spent     int     `json:"spent"`   // samples actually evaluated
+	Rounds    int     `json:"rounds"`  // growth rounds issued
+	RelErr    float64 `json:"rel_err"` // achieved primary-component relative error
+	Target    float64 `json:"target"`
+	Converged bool    `json:"converged"`
+}
+
+// Driver is the convergence-driving executor decorator. Safe for
+// concurrent use; each EstimateVec drives its own rounds.
+type Driver struct {
+	inner montecarlo.Executor
+	opt   DriverOptions
+
+	mu     sync.Mutex
+	points []PointReport
+}
+
+// localExecutor evaluates in-process; the default inner executor.
+type localExecutor struct{}
+
+func (localExecutor) EstimateVec(ctx context.Context, req montecarlo.Request) ([]montecarlo.Accumulator, error) {
+	return montecarlo.RunRequest(ctx, req)
+}
+
+// NewDriver wraps inner (nil = the in-process pool) in a convergence
+// driver.
+func NewDriver(inner montecarlo.Executor, opt DriverOptions) (*Driver, error) {
+	if opt.RelErr <= 0 {
+		return nil, fmt.Errorf("sampling: driver needs a positive RelErr target, got %g", opt.RelErr)
+	}
+	if opt.Growth == 0 {
+		opt.Growth = 2
+	}
+	if opt.Growth <= 1 {
+		return nil, fmt.Errorf("sampling: driver growth factor must be > 1, got %g", opt.Growth)
+	}
+	if inner == nil {
+		inner = localExecutor{}
+	}
+	return &Driver{inner: inner, opt: opt}, nil
+}
+
+// roundUpToShard rounds a sample count up to whole shards. Whole-shard
+// rounds are what make incremental growth exact: shard i's stream is
+// identical in every plan that includes it, so a finished shard is
+// never re-entered, and the only partial shard a driven point can see
+// is the final one of a cap-sized round.
+func roundUpToShard(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return montecarlo.ShardCount(n) * montecarlo.ShardSize
+}
+
+// EstimateVec implements montecarlo.Executor. Ranged requests
+// (FirstShard > 0) pass straight through: they are already someone's
+// delta — driving them again would double-grow.
+func (d *Driver) EstimateVec(ctx context.Context, req montecarlo.Request) ([]montecarlo.Accumulator, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if req.FirstShard > 0 {
+		return d.inner.EstimateVec(ctx, req)
+	}
+	cap := d.opt.MaxSamples
+	if cap <= 0 {
+		cap = req.Samples
+	}
+	n := roundUpToShard(montecarlo.ShardSize)
+	if d.opt.MinSamples > 0 {
+		n = roundUpToShard(d.opt.MinSamples)
+	}
+	if n > cap {
+		n = cap
+	}
+	totals := make([]montecarlo.Accumulator, req.Dim)
+	report := PointReport{
+		Kernel:  req.Kernel,
+		Sampler: req.Sampler,
+		Seed:    req.Seed,
+		Dim:     req.Dim,
+		Budget:  cap,
+		Target:  d.opt.RelErr,
+	}
+	prevShards := 0
+	for {
+		round := req
+		round.Samples = n
+		round.FirstShard = prevShards
+		accs, err := d.inner.EstimateVec(ctx, round)
+		if err != nil {
+			return nil, err
+		}
+		if len(accs) != req.Dim {
+			return nil, fmt.Errorf("sampling: inner executor returned %d components, want %d", len(accs), req.Dim)
+		}
+		for j := range totals {
+			totals[j].Merge(accs[j])
+		}
+		report.Rounds++
+		report.Spent += round.SampleSpan()
+		report.RelErr = totals[0].Estimate().RelErr()
+		if report.RelErr <= d.opt.RelErr {
+			report.Converged = true
+			break
+		}
+		if n >= cap {
+			break
+		}
+		prevShards = montecarlo.ShardCount(n)
+		next := roundUpToShard(int(float64(n) * d.opt.Growth))
+		if next <= n {
+			next = n + montecarlo.ShardSize
+		}
+		if next > cap {
+			next = cap
+		}
+		n = next
+	}
+	d.mu.Lock()
+	d.points = append(d.points, report)
+	d.mu.Unlock()
+	return totals, nil
+}
+
+// Reports returns a copy of every point driven so far, in completion
+// order.
+func (d *Driver) Reports() []PointReport {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]PointReport(nil), d.points...)
+}
+
+// Summary aggregates the driver's points.
+type Summary struct {
+	Points    int `json:"points"`
+	Spent     int `json:"spent"`
+	Converged int `json:"converged"`
+	Capped    int `json:"capped"`
+}
+
+// Summarize aggregates the reports so far.
+func (d *Driver) Summarize() Summary {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := Summary{Points: len(d.points)}
+	for _, p := range d.points {
+		s.Spent += p.Spent
+		if p.Converged {
+			s.Converged++
+		} else {
+			s.Capped++
+		}
+	}
+	return s
+}

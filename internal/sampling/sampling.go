@@ -1,0 +1,191 @@
+// Package sampling is the adaptive sampling subsystem: named
+// variance-reduction sampler strategies plus a convergence driver that
+// steers per-point Monte Carlo budgets to a target relative error.
+//
+// The paper's carrier-sense results are Monte Carlo averages over
+// shadowing and placement draws; after the fused-kernel work the
+// dominant cost is no longer per-sample math but *how many* samples
+// each point needs. This package attacks that on two axes:
+//
+//   - Sampler strategies (this file) change what each sample costs in
+//     variance: `antithetic` mirrors the uniform stream pairwise so
+//     monotone integrands (capacity vs distance, capacity vs
+//     shadowing) cancel noise within each pair; `stratified` pins each
+//     sample's primary uniform — the receiver's radial position draw —
+//     to its own stratum of the shard, removing the between-strata
+//     variance of that dimension. `plain` is montecarlo's built-in
+//     identity strategy.
+//   - The convergence driver (driver.go) changes how many samples each
+//     estimation point buys: budgets grow geometrically, in whole
+//     shards, until the primary component's relative standard error
+//     meets the target — so easy points stop early and heavy-tailed
+//     points keep going.
+//
+// Determinism contract: a strategy is a pure per-shard stream
+// transform. All state lives in the per-shard SampleStream, sample
+// order within a shard is sequential, and groups (antithetic pairs)
+// never straddle shard boundaries because the group size divides
+// montecarlo.ShardSize. The sampler name travels in
+// montecarlo.Request — over the dist wire protocol and into the cache
+// key — so a named strategy reproduces bit-identically local, on any
+// `cs serve` fleet, and through `internal/cache`, at any parallelism.
+package sampling
+
+import (
+	"fmt"
+	"sort"
+
+	"carriersense/internal/montecarlo"
+	"carriersense/internal/rng"
+)
+
+// Strategy names registered by this package (montecarlo itself
+// registers Plain, the identity).
+const (
+	Plain      = montecarlo.SamplerPlain
+	Antithetic = "antithetic"
+	Stratified = "stratified"
+)
+
+func init() {
+	montecarlo.RegisterSampler(Antithetic, antitheticSampler{})
+	montecarlo.RegisterSampler(Stratified, stratifiedSampler{})
+}
+
+// Names returns every registered sampler name, sorted — the CLI's
+// `-sampler` vocabulary.
+func Names() []string {
+	names := montecarlo.SamplerNames()
+	sort.Strings(names)
+	return names
+}
+
+// Validate checks a CLI-supplied sampler name ("" is plain).
+func Validate(name string) error {
+	if !montecarlo.HasSampler(name) {
+		return fmt.Errorf("sampling: unknown sampler %q (want one of %v)", name, Names())
+	}
+	return nil
+}
+
+// antitheticSampler mirrors the uniform stream pairwise: the even
+// sample of each pair records every uniform it consumes, the odd
+// sample replays them as 1−u. Every variate is drawn through rng's
+// inverse transforms (montonic in the uniform), so the odd sample's
+// variates are componentwise monotone-mirrored — near receiver
+// becomes far receiver, deep shadow becomes strong signal — and the
+// pair's mean cancels the monotone part of the integrand's noise.
+// Pairs are folded into the accumulator as one observation (Group
+// 2), so the tracked standard error sees the within-pair covariance;
+// a plain Welford pass over the individual samples would hide
+// exactly the variance the mirroring removes.
+type antitheticSampler struct{}
+
+func (antitheticSampler) Group() int { return 2 }
+
+func (antitheticSampler) Stream(n int, src *rng.Source) montecarlo.SampleStream {
+	st := &antitheticStream{raw: src}
+	st.record = rng.WithUniforms(func() float64 {
+		u := st.raw.Float64()
+		st.rec = append(st.rec, u)
+		return u
+	})
+	st.replay = rng.WithUniforms(func() float64 {
+		if st.idx < len(st.rec) {
+			u := st.rec[st.idx]
+			st.idx++
+			return 1 - u
+		}
+		// The mirrored sample consumed more uniforms than its partner
+		// recorded (possible only for integrands whose draw count
+		// depends on the values drawn); continue with fresh raw draws —
+		// still deterministic, just not mirrored for the excess.
+		return st.raw.Float64()
+	})
+	return st
+}
+
+// antitheticStream is the per-shard pairing state. The raw source is
+// only advanced by even samples (and by replay overruns), so the
+// pairing — and therefore the result — is a pure function of the
+// shard stream.
+type antitheticStream struct {
+	raw    *rng.Source
+	rec    []float64 // uniforms consumed by the current pair's even sample
+	idx    int       // replay cursor into rec
+	even   bool      // flipped by Next; starts false so the first call is "even"
+	record *rng.Source
+	replay *rng.Source
+}
+
+func (st *antitheticStream) Next() *rng.Source {
+	st.even = !st.even
+	if st.even {
+		st.rec = st.rec[:0]
+		return st.record
+	}
+	st.idx = 0
+	return st.replay
+}
+
+// StratifiedBlock is the stratification cycle length: consecutive
+// blocks of this many samples each cover all StratifiedBlock equal
+// strata of the primary dimension, and each complete block folds into
+// the accumulator as one observation. The block is the unit of both
+// the variance reduction and its *measurement*: block means are iid
+// (every block is a complete stratification over fresh draws), so the
+// tracked standard error reflects only the within-stratum variance —
+// a plain Welford pass over the individual, deliberately
+// non-identically-distributed samples would still show the
+// between-strata spread the strategy removed, and the convergence
+// driver would never see the improvement. 64 strata capture
+// essentially all of a smooth dimension's between-strata variance
+// (the residual shrinks as 1/B²) while leaving 64 observations per
+// shard for the error estimate.
+const StratifiedBlock = 64
+
+// stratifiedSampler stratifies the primary dimension in 64-sample
+// blocks: the first uniform of the p-th sample of each block is
+// remapped from u to (p+u)/64, pinning it inside the p-th stratum.
+// For the model's kernels the first uniform is the receiver's radial
+// position draw (geometry.UniformInDisc draws radius as R·sqrt(u)
+// first), the dominant variance axis of every capacity integrand.
+// All later uniforms pass through untransformed (but, as with every
+// uniform-hooked source, variates derive from them by inverse
+// transforms). A trailing partial block — possible only in a plan's
+// partial last shard — falls back to unstratified draws so its
+// observation stays an unbiased mean rather than covering only the
+// low strata.
+type stratifiedSampler struct{}
+
+func (stratifiedSampler) Group() int { return StratifiedBlock }
+
+func (stratifiedSampler) Stream(n int, src *rng.Source) montecarlo.SampleStream {
+	st := &stratifiedStream{raw: src, full: n - n%StratifiedBlock, i: -1}
+	st.derived = rng.WithUniforms(func() float64 {
+		u := st.raw.Float64()
+		if st.first {
+			st.first = false
+			if st.i < st.full {
+				return (float64(st.i%StratifiedBlock) + u) / StratifiedBlock
+			}
+		}
+		return u
+	})
+	return st
+}
+
+// stratifiedStream carries the per-shard sample counter.
+type stratifiedStream struct {
+	raw     *rng.Source
+	full    int // samples covered by complete blocks; the tail is unstratified
+	i       int
+	first   bool
+	derived *rng.Source
+}
+
+func (st *stratifiedStream) Next() *rng.Source {
+	st.i++
+	st.first = true
+	return st.derived
+}

@@ -1,0 +1,254 @@
+package sampling
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+
+	"carriersense/internal/montecarlo"
+	"carriersense/internal/rng"
+)
+
+// Probe kernels: capture the per-sample draw values so tests can see
+// the sampler-transformed stream. Evaluations are recorded in sample
+// order by pinning the pool to one worker.
+var (
+	probeMu  sync.Mutex
+	probeLog []float64
+)
+
+func resetProbe() {
+	probeMu.Lock()
+	probeLog = probeLog[:0]
+	probeMu.Unlock()
+}
+
+func probeValues() []float64 {
+	probeMu.Lock()
+	defer probeMu.Unlock()
+	return append([]float64(nil), probeLog...)
+}
+
+func init() {
+	// probe/first: records the sample's first uniform.
+	montecarlo.RegisterKernel("probe/first", func(params json.RawMessage) (montecarlo.EvalFunc, error) {
+		return func(src *rng.Source, out []float64) {
+			u := src.Float64()
+			probeMu.Lock()
+			probeLog = append(probeLog, u)
+			probeMu.Unlock()
+			out[0] = u
+		}, nil
+	})
+	// probe/mixed: consumes a uniform and a normal, like a real
+	// integrand with position and shadowing draws.
+	montecarlo.RegisterKernel("probe/mixed", func(params json.RawMessage) (montecarlo.EvalFunc, error) {
+		return func(src *rng.Source, out []float64) {
+			u := src.Float64()
+			z := src.Normal(0, 1)
+			probeMu.Lock()
+			probeLog = append(probeLog, u, z)
+			probeMu.Unlock()
+			out[0] = u + z
+		}, nil
+	})
+}
+
+func sequential(t *testing.T) {
+	t.Helper()
+	if err := montecarlo.SetMaxWorkers(1); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(montecarlo.ResetMaxWorkers)
+}
+
+func runProbe(t *testing.T, kernel, sampler string, seed uint64, samples int) []montecarlo.Accumulator {
+	t.Helper()
+	resetProbe()
+	accs, err := montecarlo.RunRequest(context.Background(), montecarlo.Request{
+		Kernel: kernel, Seed: seed, Samples: samples, Dim: 1, Sampler: sampler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return accs
+}
+
+func TestAntitheticPairsMirrorUniforms(t *testing.T) {
+	sequential(t)
+	const n = 2*montecarlo.ShardSize + 10 // spans three shards, last one partial and odd-ish
+	runProbe(t, "probe/first", Antithetic, 7, n)
+	us := probeValues()
+	if len(us) != n {
+		t.Fatalf("recorded %d draws, want %d", len(us), n)
+	}
+	// Pairing restarts per shard; within every shard, sample 2k+1
+	// replays 1-u of sample 2k. ShardSize is even, so pairs never
+	// straddle a shard boundary — including around the boundaries at
+	// ShardSize and 2*ShardSize.
+	for start := 0; start < n; start += montecarlo.ShardSize {
+		end := start + montecarlo.ShardSize
+		if end > n {
+			end = n
+		}
+		for i := start; i+1 < end; i += 2 {
+			if got, want := us[i+1], 1-us[i]; got != want {
+				t.Fatalf("sample %d = %v, want mirror %v of sample %d", i+1, got, want, i)
+			}
+		}
+	}
+}
+
+func TestAntitheticPairingSurvivesIncrementalGrowth(t *testing.T) {
+	// The convergence driver grows budgets in whole shards, so a
+	// driven antithetic run is a sequence of ranged requests. The
+	// concatenated draw stream must pair exactly like the one-shot
+	// run: same shards, same streams, same pairing.
+	sequential(t)
+	const total = 3 * montecarlo.ShardSize
+	runProbe(t, "probe/first", Antithetic, 21, total)
+	oneShot := probeValues()
+
+	resetProbe()
+	for _, round := range []struct{ samples, first int }{
+		{montecarlo.ShardSize, 0}, {2 * montecarlo.ShardSize, 1}, {total, 2},
+	} {
+		if _, err := montecarlo.RunRequest(context.Background(), montecarlo.Request{
+			Kernel: "probe/first", Seed: 21, Samples: round.samples, Dim: 1,
+			Sampler: Antithetic, FirstShard: round.first,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := probeValues()
+	if len(grown) != len(oneShot) {
+		t.Fatalf("grown run recorded %d draws, one-shot %d", len(grown), len(oneShot))
+	}
+	for i := range oneShot {
+		if oneShot[i] != grown[i] {
+			t.Fatalf("draw %d differs: one-shot %v, grown %v", i, oneShot[i], grown[i])
+		}
+	}
+}
+
+func TestAntitheticMirrorsNormalsViaInverseCDF(t *testing.T) {
+	sequential(t)
+	runProbe(t, "probe/mixed", Antithetic, 11, 64)
+	vals := probeValues() // u0, z0, u1, z1, ...
+	for i := 0; i+3 < len(vals); i += 4 {
+		uEven, zEven, uOdd, zOdd := vals[i], vals[i+1], vals[i+2], vals[i+3]
+		if uOdd != 1-uEven {
+			t.Fatalf("pair %d: uniform not mirrored", i/4)
+		}
+		// Φ⁻¹(1-u) = -Φ⁻¹(u); the quantile is antisymmetric, so the
+		// mirrored normal is the negation (within the quantile's own
+		// numeric symmetry).
+		if math.Abs(zOdd+zEven) > 1e-8 {
+			t.Fatalf("pair %d: normals %v and %v are not antithetic", i/4, zEven, zOdd)
+		}
+	}
+}
+
+func TestAntitheticAccumulatesPairMeans(t *testing.T) {
+	sequential(t)
+	accs := runProbe(t, "probe/first", Antithetic, 13, montecarlo.ShardSize)
+	if got, want := accs[0].N(), montecarlo.ShardSize/2; got != want {
+		t.Fatalf("accumulator N = %d, want %d pair observations", got, want)
+	}
+	// Each pair mean is (u + 1-u)/2 = 1/2 exactly, so the estimate is
+	// exact with zero variance: the degenerate best case of antithetic
+	// cancellation on a monotone integrand.
+	est := accs[0].Estimate()
+	if est.Mean != 0.5 || est.StdErr != 0 {
+		t.Fatalf("pair-mean estimate = %+v, want exactly {0.5, 0}", est)
+	}
+}
+
+func TestStratifiedBlocksCoverStrata(t *testing.T) {
+	sequential(t)
+	const n = montecarlo.ShardSize + StratifiedBlock + 7 // partial last shard with a partial tail block
+	runProbe(t, "probe/first", Stratified, 5, n)
+	us := probeValues()
+	if len(us) != n {
+		t.Fatalf("recorded %d draws, want %d", len(us), n)
+	}
+	for start := 0; start < n; start += montecarlo.ShardSize {
+		end := start + montecarlo.ShardSize
+		if end > n {
+			end = n
+		}
+		shardN := end - start
+		full := shardN - shardN%StratifiedBlock
+		for i := start; i < end; i++ {
+			p := i - start
+			u := us[i]
+			if p < full {
+				lo := float64(p%StratifiedBlock) / StratifiedBlock
+				hi := lo + 1.0/StratifiedBlock
+				if u < lo || u >= hi {
+					t.Fatalf("sample %d: draw %v outside its stratum [%v,%v)", i, u, lo, hi)
+				}
+			} else if u < 0 || u >= 1 {
+				// Tail block: unstratified, just a plain uniform.
+				t.Fatalf("tail sample %d: draw %v outside [0,1)", i, u)
+			}
+		}
+	}
+}
+
+func TestStratifiedAccumulatesBlockMeans(t *testing.T) {
+	sequential(t)
+	accs := runProbe(t, "probe/first", Stratified, 5, montecarlo.ShardSize)
+	if got, want := accs[0].N(), montecarlo.ShardSize/StratifiedBlock; got != want {
+		t.Fatalf("accumulator N = %d, want %d block observations", got, want)
+	}
+	est := accs[0].Estimate()
+	if math.Abs(est.Mean-0.5) > 0.01 {
+		t.Fatalf("stratified mean of U(0,1) = %v, want ~0.5", est.Mean)
+	}
+	// Stratification bounds each block mean to 1/2 ± the within-stratum
+	// spread, so the block-mean standard error must be far below the
+	// plain-sampling σ/√n for the same draws.
+	plain := runProbe(t, "probe/first", Plain, 5, montecarlo.ShardSize)
+	if est.StdErr >= plain[0].Estimate().StdErr/4 {
+		t.Fatalf("stratified StdErr %v not well below plain %v", est.StdErr, plain[0].Estimate().StdErr)
+	}
+}
+
+func TestSamplersDeterministicAcrossParallelism(t *testing.T) {
+	for _, sampler := range []string{Plain, Antithetic, Stratified} {
+		var base []montecarlo.Accumulator
+		for _, workers := range []int{1, 3, 8} {
+			if err := montecarlo.SetMaxWorkers(workers); err != nil {
+				t.Fatal(err)
+			}
+			accs, err := montecarlo.RunRequest(context.Background(), montecarlo.Request{
+				Kernel: "probe/first", Seed: 99, Samples: 5*montecarlo.ShardSize + 123, Dim: 1, Sampler: sampler,
+			})
+			montecarlo.ResetMaxWorkers()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base == nil {
+				base = accs
+				continue
+			}
+			if accs[0] != base[0] {
+				t.Errorf("sampler %s: result at %d workers differs from 1 worker", sampler, workers)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, name := range []string{"", Plain, Antithetic, Stratified} {
+		if err := Validate(name); err != nil {
+			t.Errorf("Validate(%q) = %v", name, err)
+		}
+	}
+	if err := Validate("sobol"); err == nil {
+		t.Error("Validate accepted an unregistered sampler")
+	}
+}

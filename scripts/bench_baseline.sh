@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Benchmark baseline snapshot: run the -short bench lane once and emit
 # BENCH_<date>.json — one record per benchmark with ns/op and every
-# custom metric — so the repo's performance trajectory is tracked
-# run-over-run. CI executes this and uploads the JSON as an artifact;
-# locally:
+# custom metric, plus a samples-to-target lane comparing the sampler
+# strategies (plain vs antithetic vs stratified) at a fixed relative
+# error — so the repo's performance trajectory is tracked run-over-run.
+# CI executes this and uploads the JSON as an artifact; locally:
 #
 #   scripts/bench_baseline.sh            # writes BENCH_YYYYMMDD.json
 #   scripts/bench_baseline.sh out.json   # explicit output path
@@ -12,11 +13,13 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_$(date -u +%Y%m%d).json}"
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+bench_json=$(mktemp)
+csbin=$(mktemp -d)/cs
+trap 'rm -f "$raw" "$bench_json"; rm -rf "$(dirname "$csbin")"' EXIT
 
 go test -short -run '^$' -bench . -benchtime 1x -benchmem . | tee "$raw"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version | awk '{print $3}')" '
+awk '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1
@@ -33,16 +36,62 @@ BEGIN { n = 0 }
     recs[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"metrics\": {%s}}",
                         name, iters, (ns == "" ? "null" : ns), metrics)
 }
-/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu); print cpu > "/dev/stderr" }
 END {
-    printf "{\n"
-    printf "  \"date\": \"%s\",\n", date
-    printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"bench\": \"go test -short -run ^$ -bench . -benchtime 1x -benchmem .\",\n"
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
-    printf "  ]\n}\n"
-}' "$raw" > "$out"
+    printf "  ],\n"
+}' "$raw" > "$bench_json"
 
-echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
+# Samples-to-target lane: every sampler strategy drives the same
+# scenarios to the same relative-error target through the adaptive
+# convergence driver (`-relerr`); the sampling_spent metric in each
+# run's result.json is the total Monte Carlo samples that took. The
+# variance-reduction strategies must land equal-accuracy results in
+# measurably fewer samples.
+target=0.005
+max_samples=4194304
+scale=smoke
+echo "samples-to-target lane: relerr <= $target, scale $scale"
+go build -o "$csbin" ./cmd/cs
+
+spent_for() { # scenario sampler -> sampling_spent
+    local dir
+    dir=$(mktemp -d)
+    "$csbin" run "$1" -scale "$scale" -sampler "$2" -relerr "$target" \
+        -max-samples "$max_samples" -quiet -out "$dir" >/dev/null 2>&1
+    grep -ho '"sampling_spent": [0-9.e+]*' "$dir"/*/result.json | head -1 | awk '{printf "%d", $2}'
+    rm -rf "$dir"
+}
+
+sampling_json="  \"sampling\": {\n"
+sampling_json+="    \"target_relerr\": $target,\n"
+sampling_json+="    \"max_samples\": $max_samples,\n"
+sampling_json+="    \"scale\": \"$scale\",\n"
+sampling_json+="    \"scenarios\": [\n"
+scenarios=(curves inefficiency tables)
+for i in "${!scenarios[@]}"; do
+    sc=${scenarios[$i]}
+    plain=$(spent_for "$sc" plain)
+    anti=$(spent_for "$sc" antithetic)
+    strat=$(spent_for "$sc" stratified)
+    anti_pct=$(awk -v p="$plain" -v v="$anti" 'BEGIN{printf "%.1f", 100*(1-v/p)}')
+    strat_pct=$(awk -v p="$plain" -v v="$strat" 'BEGIN{printf "%.1f", 100*(1-v/p)}')
+    echo "  $sc: plain=$plain antithetic=$anti (-$anti_pct%) stratified=$strat (-$strat_pct%)"
+    comma=$([ "$i" -lt $((${#scenarios[@]} - 1)) ] && echo "," || echo "")
+    sampling_json+="      {\"scenario\": \"$sc\", \"plain\": $plain, \"antithetic\": $anti, \"stratified\": $strat, \"antithetic_savings_pct\": $anti_pct, \"stratified_savings_pct\": $strat_pct}$comma\n"
+done
+sampling_json+="    ]\n  }\n"
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+    printf '  "bench": "go test -short -run ^$ -bench . -benchtime 1x -benchmem .",\n'
+    cat "$bench_json"
+    printf '%b' "$sampling_json"
+    printf '}\n'
+} > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks + sampler lane)"
