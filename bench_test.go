@@ -367,21 +367,24 @@ type staticChannel struct{ gain float64 }
 func (c staticChannel) GainDB(from, to phy.NodeID) float64 { return c.gain }
 
 // BenchmarkSimulatorEventThroughput measures the raw discrete-event
-// engine: a dense self-rescheduling workload.
+// engine: a dense self-rescheduling workload. events/sec is the
+// simulator lane's headline number in BENCH_<date>.json.
 func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	const events = 100_000
 	for i := 0; i < b.N; i++ {
 		s := sim.New()
 		count := 0
 		var tick func()
 		tick = func() {
 			count++
-			if count < 100_000 {
+			if count < events {
 				s.After(sim.Microsecond, tick)
 			}
 		}
 		s.After(0, tick)
 		s.RunAll()
 	}
+	b.ReportMetric(float64(events*b.N)/b.Elapsed().Seconds(), "events/sec")
 }
 
 // BenchmarkPacketSimSecond measures packet-simulator speed: one

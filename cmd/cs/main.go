@@ -122,10 +122,12 @@ run-only flags:
                  nested structs, e.g. -set layout.nodes=30)
   -grid k=v1,v2  sweep a parameter axis (repeatable; axes cross-multiply)
 
-all-only flags:
-  -plan          with -cache: dry-run that diffs every scenario's
-                 estimations against the cache and reports which will
-                 be free, without evaluating anything
+run/all -plan (requires -cache):
+  -plan          dry-run that diffs the run's estimations — for run,
+                 one scenario including its -grid cross product; for
+                 all, the whole catalog — against the cache and
+                 reports which will be free, without evaluating
+                 anything
 
 "cs all" runs every scenario except report (which is itself the whole
 catalog in one document).`)
@@ -335,6 +337,7 @@ func cmdHelp(name string) error {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	finish := runOptions(fs, true)
+	plan := fs.Bool("plan", false, "with -cache: report which estimations are already cached, without running")
 	if len(args) > 0 && (args[0] == "-h" || args[0] == "--help" || args[0] == "-help") {
 		usage(os.Stdout)
 		return nil
@@ -350,10 +353,86 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *plan {
+		return planRun(cfg, name)
+	}
 	return runAndReport(cfg, func() error {
 		_, err := engine.Run(context.Background(), name, cfg.opts)
 		return err
 	})
+}
+
+// planRun is `cs run <scenario> -cache -plan`: replay one scenario —
+// including its -grid cross product and -set overrides — against the
+// cache.Planner dry-run executor and report, per kernel, how much of
+// the run is already paid for. The single-scenario counterpart of
+// `cs all -cache -plan` (ROADMAP: cache-aware orchestration).
+func planRun(cfg runConfig, name string) error {
+	if cfg.cache == nil {
+		return fmt.Errorf("-plan requires -cache")
+	}
+	if cfg.opts.RelErr > 0 {
+		// A convergence-driven run issues rounds until the *values*
+		// converge; a dry run with zero-mean placeholders would spin
+		// every point to its cap and report nonsense.
+		return fmt.Errorf("-plan cannot predict -relerr convergence rounds; plan without -relerr")
+	}
+	if name == "sampling" {
+		return fmt.Errorf("the sampling scenario drives its own local executor and is never cache-routed; nothing to plan")
+	}
+	planner := cache.NewPlanner(cfg.cacheDir)
+	opts := cfg.opts
+	opts.Executor = planner
+	opts.Stdout = nil // the plan is the output, not the scenario report
+	opts.OutDir = ""
+	err := planScenario(name, opts)
+	entries := planner.Entries()
+	fmt.Printf("cache plan for %s (%s):\n", name, cfg.cacheDir)
+	// Per-kernel ledger, in first-appearance order.
+	type kernelPlan struct {
+		requests, cached int
+		samplesToEval    int64
+	}
+	perKernel := map[string]*kernelPlan{}
+	var order []string
+	for _, e := range entries {
+		kp := perKernel[e.Kernel]
+		if kp == nil {
+			kp = &kernelPlan{}
+			perKernel[e.Kernel] = kp
+			order = append(order, e.Kernel)
+		}
+		kp.requests++
+		if e.Cached {
+			kp.cached++
+		} else {
+			kp.samplesToEval += int64(e.Samples)
+		}
+	}
+	for _, k := range order {
+		kp := perKernel[k]
+		switch {
+		case kp.cached == kp.requests:
+			fmt.Printf("  %-20s %4d estimations, all cached — free\n", k, kp.requests)
+		default:
+			fmt.Printf("  %-20s %4d estimations, %4d cached, %4d to evaluate (~%d samples)\n",
+				k, kp.requests, kp.cached, kp.requests-kp.cached, kp.samplesToEval)
+		}
+	}
+	s := planner.Summarize()
+	switch {
+	case s.Requests == 0:
+		fmt.Println("  no kernel estimations (unaffected by the cache)")
+	default:
+		fmt.Printf("total: %d estimations, %d cached, %d to evaluate (~%d samples)\n",
+			s.Requests, s.Cached, s.ToEvaluate, s.SamplesToEval)
+	}
+	if err != nil {
+		// A scenario choking on placeholder estimates still yields a
+		// partial ledger; report it rather than abort.
+		fmt.Printf("(plan incomplete: %v)\n", err)
+	}
+	return nil
 }
 
 // cmdCache inspects or empties the persistent result cache used by

@@ -139,7 +139,14 @@ func New(inner montecarlo.Executor, opts Options) *Executor {
 // Epoch 2: the key gained the request's sampler name and shard range
 // (the adaptive sampling subsystem), so epoch-1 entries — which could
 // otherwise collide with a plain full-range request's key — miss.
-const KeyEpoch = 2
+//
+// Epoch 3: packet-simulator replications joined the key space as
+// testbed/* sim kernels, and the PHY hot-path overhaul moved the
+// simulator's power arithmetic to precomputed linear-scale gains
+// (math.Exp instead of per-query math.Pow) — last-ulp differences
+// that would let a new binary serve a previous binary's bit patterns
+// as its own. Entries from earlier epochs miss cleanly.
+const KeyEpoch = 3
 
 // Key returns the cache key of a request: a SHA-256 over KeyEpoch and
 // every request field that determines the estimation result — the

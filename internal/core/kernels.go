@@ -158,7 +158,7 @@ func init() {
 		func(m *Model, p pointParams) montecarlo.BatchEvalFunc {
 			return m.newPointEval(p.Rmax, p.D, 0).policyDiffBatch
 		})
-	buildMulti := func(raw json.RawMessage) (montecarlo.EvalFunc, error) {
+	buildMultiModel := func(raw json.RawMessage) (*MultiModel, error) {
 		var p multiParamsWire
 		if err := json.Unmarshal(raw, &p); err != nil {
 			return nil, err
@@ -170,23 +170,28 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		mm := NewMulti(MultiParams{
+		return NewMulti(MultiParams{
 			Env:        env.Params(),
 			NPairs:     p.NPairs,
 			AreaRadius: p.AreaRadius,
 			Rmax:       p.Rmax,
 			DThresh:    p.DThresh,
 			Rounds:     p.Rounds,
-		})
-		return mm.multiEval(), nil
+		}), nil
 	}
-	montecarlo.RegisterKernel(KernelMulti, buildMulti)
-	montecarlo.RegisterBatchKernel(KernelMulti, nMultiIdx, func(raw json.RawMessage) (montecarlo.BatchEvalFunc, error) {
-		fn, err := buildMulti(raw)
+	montecarlo.RegisterKernel(KernelMulti, func(raw json.RawMessage) (montecarlo.EvalFunc, error) {
+		mm, err := buildMultiModel(raw)
 		if err != nil {
 			return nil, err
 		}
-		return batchLoop(nMultiIdx, fn), nil
+		return mm.multiEval(), nil
+	})
+	montecarlo.RegisterBatchKernel(KernelMulti, nMultiIdx, func(raw json.RawMessage) (montecarlo.BatchEvalFunc, error) {
+		mm, err := buildMultiModel(raw)
+		if err != nil {
+			return nil, err
+		}
+		return mm.multiBatch(), nil
 	})
 }
 

@@ -1,6 +1,11 @@
 package core
 
 import (
+	"math"
+	"math/bits"
+	"sync"
+
+	"carriersense/internal/capacity"
 	"carriersense/internal/geometry"
 	"carriersense/internal/montecarlo"
 	"carriersense/internal/rng"
@@ -62,6 +67,10 @@ func DefaultMultiParams(nPairs int) MultiParams {
 type MultiModel struct {
 	p     MultiParams
 	model *Model
+	// shanEff > 0 devirtualizes the (default) Shannon capacity model,
+	// exactly as pointEval.thr does for the two-pair kernels: the
+	// policy loops call Throughput hundreds of times per sample.
+	shanEff float64
 }
 
 // NewMulti constructs the n-pair model. Panics on invalid parameters.
@@ -72,7 +81,26 @@ func NewMulti(p MultiParams) *MultiModel {
 	if p.Rounds < 1 {
 		p.Rounds = 1
 	}
-	return &MultiModel{p: p, model: New(p.Env)}
+	mm := &MultiModel{p: p, model: New(p.Env)}
+	if s, ok := mm.model.cap.(capacity.Shannon); ok {
+		mm.shanEff = s.Efficiency
+		if mm.shanEff == 0 {
+			mm.shanEff = 1
+		}
+	}
+	return mm
+}
+
+// thr maps linear SINR to throughput, inlining the Shannon formula
+// when possible (bit-identical to Shannon.Throughput).
+func (mm *MultiModel) thr(snr float64) float64 {
+	if mm.shanEff > 0 {
+		if snr <= 0 {
+			return 0
+		}
+		return mm.shanEff * math.Log1p(snr)
+	}
+	return mm.model.cap.Throughput(snr)
 }
 
 // multiConfig is one sampled n-pair configuration.
@@ -84,25 +112,66 @@ type multiConfig struct {
 	lSense    [][]float64 // symmetric sender_i <-> sender_j
 }
 
-// sample draws senders uniform over the area disc, receivers uniform
-// within Rmax of their senders, and independent lognormal shadowing on
-// every channel (sensing symmetric, as in the two-pair model).
-func (mm *MultiModel) sample(src *rng.Source) multiConfig {
+// multiScratch is one evaluator's reusable working set: the sampled
+// configuration plus the per-sample linear gain caches. The policy
+// evaluations query every channel many times per sample (the best-k
+// search alone touches each interference link dozens of times), so the
+// path-gain × shadowing products are computed once per sample into
+// flat matrices and the policy loops reduce to cached multiplies and
+// adds. A scratch is single-goroutine state: the per-sample evaluator
+// builds a fresh one per call (it may run concurrently across shards),
+// the batch evaluator builds one per chunk and amortizes it over
+// hundreds of samples.
+type multiScratch struct {
+	c multiConfig
+	// gSig[i] is sender_i → receiver_i: pathGainSq × lSig.
+	gSig []float64
+	// gInt[j*n+i] is sender_j → receiver_i: pathGainSq × lInt[j][i].
+	gInt []float64
+	// gSense[i*n+j] is sender_i ↔ sender_j: pathGainSq × lSense[i][j].
+	gSense []float64
+	order  []int
+	idx    []int
+}
+
+// newScratch allocates a working set for n pairs.
+func (mm *MultiModel) newScratch() *multiScratch {
+	n := mm.p.NPairs
+	sc := &multiScratch{
+		c: multiConfig{
+			senders:   make([]geometry.Point, n),
+			receivers: make([]geometry.Point, n),
+			lSig:      make([]float64, n),
+			lInt:      make([][]float64, n),
+			lSense:    make([][]float64, n),
+		},
+		gSig:   make([]float64, n),
+		gInt:   make([]float64, n*n),
+		gSense: make([]float64, n*n),
+		order:  make([]int, n),
+		idx:    make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		sc.c.lInt[i] = make([]float64, n)
+		sc.c.lSense[i] = make([]float64, n)
+	}
+	return sc
+}
+
+// sampleInto draws senders uniform over the area disc, receivers
+// uniform within Rmax of their senders, and independent lognormal
+// shadowing on every channel (sensing symmetric, as in the two-pair
+// model), then folds geometry and shadowing into the linear gain
+// caches. The draw order is fixed; reusing the scratch changes no
+// values.
+func (mm *MultiModel) sampleInto(src *rng.Source, sc *multiScratch) {
 	n := mm.p.NPairs
 	sigma := mm.p.Env.SigmaDB
-	c := multiConfig{
-		senders:   make([]geometry.Point, n),
-		receivers: make([]geometry.Point, n),
-		lSig:      make([]float64, n),
-		lInt:      make([][]float64, n),
-		lSense:    make([][]float64, n),
-	}
+	c := &sc.c
 	for i := 0; i < n; i++ {
 		c.senders[i] = geometry.UniformInDisc(src, mm.p.AreaRadius)
 		c.receivers[i] = c.senders[i].Add(geometry.UniformInDisc(src, mm.p.Rmax))
 		c.lSig[i] = src.LognormalDB(sigma)
-		c.lInt[i] = make([]float64, n)
-		c.lSense[i] = make([]float64, n)
 	}
 	for j := 0; j < n; j++ {
 		for i := 0; i < n; i++ {
@@ -118,36 +187,41 @@ func (mm *MultiModel) sample(src *rng.Source) multiConfig {
 			c.lSense[j][i] = l
 		}
 	}
-	return c
+	// Gain caches: every product below is exactly the term the policy
+	// loops previously recomputed per query, so cached evaluation is
+	// bit-identical.
+	for i := 0; i < n; i++ {
+		sc.gSig[i] = mm.model.pathGainSq(c.senders[i].DistSq(c.receivers[i])) * c.lSig[i]
+		for j := 0; j < n; j++ {
+			if j != i {
+				sc.gInt[j*n+i] = mm.model.pathGainSq(c.senders[j].DistSq(c.receivers[i])) * c.lInt[j][i]
+				sc.gSense[i*n+j] = mm.model.pathGainSq(c.senders[i].DistSq(c.senders[j])) * c.lSense[i][j]
+			}
+		}
+	}
 }
 
 // pairCapacity returns pair i's capacity when the senders in active
 // (a bitmask) transmit concurrently. Pair i must be active.
-func (mm *MultiModel) pairCapacity(c multiConfig, i int, active uint64) float64 {
-	noise := mm.model.noise
+// Interference iterates the mask's set bits in ascending order — the
+// same float summation order as a full 0..n scan, so the cached-matrix
+// fast path is bit-identical to the original formulation.
+func (mm *MultiModel) pairCapacity(sc *multiScratch, i int, active uint64) float64 {
+	n := mm.p.NPairs
 	interf := 0.0
-	for j := range c.senders {
-		if j == i || active&(1<<uint(j)) == 0 {
-			continue
-		}
-		interf += mm.model.pathGainSq(c.senders[j].DistSq(c.receivers[i])) * c.lInt[j][i]
+	for rem := active &^ (1 << uint(i)); rem != 0; rem &= rem - 1 {
+		j := bits.TrailingZeros64(rem)
+		interf += sc.gInt[j*n+i]
 	}
-	sig := mm.model.pathGainSq(c.senders[i].DistSq(c.receivers[i])) * c.lSig[i]
-	return mm.model.cap.Throughput(sig / (noise + interf))
-}
-
-// sensed reports whether sender i senses sender j above threshold.
-func (mm *MultiModel) sensed(c multiConfig, i, j int, pThresh float64) bool {
-	s := c.senders[i].DistSq(c.senders[j])
-	return mm.model.pathGainSq(s)*c.lSense[i][j] > pThresh
+	return mm.thr(sc.gSig[i] / (mm.model.noise + interf))
 }
 
 // csRound runs one DCF round: arrival order is a random permutation;
 // each sender joins unless it senses an already-active sender. Returns
 // the active bitmask.
-func (mm *MultiModel) csRound(src *rng.Source, c multiConfig, pThresh float64) uint64 {
+func (mm *MultiModel) csRound(src *rng.Source, sc *multiScratch, pThresh float64) uint64 {
 	n := mm.p.NPairs
-	order := make([]int, n)
+	order := sc.order
 	for i := range order {
 		order[i] = i
 	}
@@ -155,8 +229,8 @@ func (mm *MultiModel) csRound(src *rng.Source, c multiConfig, pThresh float64) u
 	var active uint64
 	for _, i := range order {
 		blocked := false
-		for j := 0; j < n; j++ {
-			if active&(1<<uint(j)) != 0 && mm.sensed(c, i, j, pThresh) {
+		for rem := active; rem != 0; rem &= rem - 1 {
+			if sc.gSense[i*n+bits.TrailingZeros64(rem)] > pThresh {
 				blocked = true
 				break
 			}
@@ -169,20 +243,18 @@ func (mm *MultiModel) csRound(src *rng.Source, c multiConfig, pThresh float64) u
 }
 
 // csThroughput averages per-pair CS throughput over DCF rounds.
-func (mm *MultiModel) csThroughput(src *rng.Source, c multiConfig, pThresh float64) float64 {
+func (mm *MultiModel) csThroughput(src *rng.Source, sc *multiScratch, pThresh float64) float64 {
 	n := mm.p.NPairs
 	total := 0.0
 	for r := 0; r < mm.p.Rounds; r++ {
-		active := mm.csRound(src, c, pThresh)
+		active := mm.csRound(src, sc, pThresh)
 		// Active senders split the round among themselves implicitly:
 		// everyone in the independent set transmits for the full
 		// round; blocked senders get nothing this round. Averaging
 		// over rounds with random order restores long-run fairness,
 		// just as DCF's backoff lottery does.
-		for i := 0; i < n; i++ {
-			if active&(1<<uint(i)) != 0 {
-				total += mm.pairCapacity(c, i, active)
-			}
+		for rem := active; rem != 0; rem &= rem - 1 {
+			total += mm.pairCapacity(sc, bits.TrailingZeros64(rem), active)
 		}
 	}
 	return total / float64(mm.p.Rounds) / float64(n)
@@ -191,7 +263,7 @@ func (mm *MultiModel) csThroughput(src *rng.Source, c multiConfig, pThresh float
 // uniformKThroughput estimates per-pair throughput when each slot
 // activates a uniformly random k-subset. Exact enumeration is used
 // when the subset count is small; otherwise sampled.
-func (mm *MultiModel) uniformKThroughput(src *rng.Source, c multiConfig, k int) float64 {
+func (mm *MultiModel) uniformKThroughput(src *rng.Source, sc *multiScratch, k int) float64 {
 	n := mm.p.NPairs
 	if k <= 0 {
 		return 0
@@ -200,13 +272,13 @@ func (mm *MultiModel) uniformKThroughput(src *rng.Source, c multiConfig, k int) 
 		total := 0.0
 		all := uint64(1<<uint(n)) - 1
 		for i := 0; i < n; i++ {
-			total += mm.pairCapacity(c, i, all)
+			total += mm.pairCapacity(sc, i, all)
 		}
 		return total / float64(n)
 	}
 	// Sample random k-subsets.
 	const subsetSamples = 12
-	idx := make([]int, n)
+	idx := sc.idx
 	for i := range idx {
 		idx[i] = i
 	}
@@ -218,7 +290,7 @@ func (mm *MultiModel) uniformKThroughput(src *rng.Source, c multiConfig, k int) 
 			active |= 1 << uint(i)
 		}
 		for _, i := range idx[:k] {
-			total += mm.pairCapacity(c, i, active)
+			total += mm.pairCapacity(sc, i, active)
 		}
 	}
 	// Each sender is active with probability k/n; the sum above counts
@@ -272,41 +344,69 @@ const (
 	nMultiIdx
 )
 
-// multiEval builds the n-pair policy-vector integrand behind
-// EstimateMulti; the core/multi kernel rebuilds it on workers.
-func (mm *MultiModel) multiEval() montecarlo.EvalFunc {
+// evalOne evaluates one sampled configuration into out using the
+// given scratch.
+func (mm *MultiModel) evalOne(src *rng.Source, sc *multiScratch, pThresh float64, out []float64) {
 	n := mm.p.NPairs
+	mm.sampleInto(src, sc)
+	all := uint64(1<<uint(n)) - 1
+	// TDMA.
+	tdma := 0.0
+	for i := 0; i < n; i++ {
+		tdma += mm.pairCapacity(sc, i, 1<<uint(i)) / float64(n)
+	}
+	out[idxMultiTDMA] = tdma / float64(n)
+	// Full concurrency.
+	conc := 0.0
+	for i := 0; i < n; i++ {
+		conc += mm.pairCapacity(sc, i, all)
+	}
+	out[idxMultiConc] = conc / float64(n)
+	// Carrier sense.
+	out[idxMultiCS] = mm.csThroughput(src, sc, pThresh)
+	// Active count under CS (one extra round, cheap).
+	active := mm.csRound(src, sc, pThresh)
+	out[idxMultiActive] = float64(popcount(active))
+	// Best uniform-k.
+	best, bestK := 0.0, 1
+	for k := 1; k <= n; k++ {
+		v := mm.uniformKThroughput(src, sc, k)
+		if v > best {
+			best, bestK = v, k
+		}
+	}
+	out[idxMultiBestK] = best
+	out[idxMultiBestLevel] = float64(bestK)
+}
+
+// multiEval builds the n-pair policy-vector integrand behind
+// EstimateMulti; the core/multi kernel rebuilds it on workers. One
+// EvalFunc is shared across concurrently evaluated shards (and is the
+// only form the sampler-transformed path uses), so scratches come
+// from a pool: concurrency-safe, and a sampled run still amortizes
+// the working set instead of reallocating it per sample.
+func (mm *MultiModel) multiEval() montecarlo.EvalFunc {
 	pThresh := mm.model.ThresholdPower(mm.p.DThresh)
+	pool := sync.Pool{New: func() any { return mm.newScratch() }}
 	return func(src *rng.Source, out []float64) {
-		c := mm.sample(src)
-		all := uint64(1<<uint(n)) - 1
-		// TDMA.
-		tdma := 0.0
-		for i := 0; i < n; i++ {
-			tdma += mm.pairCapacity(c, i, 1<<uint(i)) / float64(n)
+		sc := pool.Get().(*multiScratch)
+		mm.evalOne(src, sc, pThresh, out)
+		pool.Put(sc)
+	}
+}
+
+// multiBatch is the batch form: one scratch per chunk, reused across
+// its samples, so the per-sample slice churn (configuration rows, DCF
+// round permutations, subset buffers) disappears from the hot path.
+// Draw order and arithmetic are identical to the per-sample form, so
+// the two are bit-interchangeable.
+func (mm *MultiModel) multiBatch() montecarlo.BatchEvalFunc {
+	pThresh := mm.model.ThresholdPower(mm.p.DThresh)
+	return func(src *rng.Source, count int, out []float64) {
+		sc := mm.newScratch()
+		for i := 0; i < count; i++ {
+			mm.evalOne(src, sc, pThresh, out[i*nMultiIdx:(i+1)*nMultiIdx:(i+1)*nMultiIdx])
 		}
-		out[idxMultiTDMA] = tdma / float64(n)
-		// Full concurrency.
-		conc := 0.0
-		for i := 0; i < n; i++ {
-			conc += mm.pairCapacity(c, i, all)
-		}
-		out[idxMultiConc] = conc / float64(n)
-		// Carrier sense.
-		out[idxMultiCS] = mm.csThroughput(src, c, pThresh)
-		// Active count under CS (one extra round, cheap).
-		active := mm.csRound(src, c, pThresh)
-		out[idxMultiActive] = float64(popcount(active))
-		// Best uniform-k.
-		best, bestK := 0.0, 1
-		for k := 1; k <= n; k++ {
-			v := mm.uniformKThroughput(src, c, k)
-			if v > best {
-				best, bestK = v, k
-			}
-		}
-		out[idxMultiBestK] = best
-		out[idxMultiBestLevel] = float64(bestK)
 	}
 }
 
@@ -339,11 +439,4 @@ func (mm *MultiModel) EstimateMulti(seed uint64, nSamples int) MultiAverages {
 	}
 }
 
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
-}
+func popcount(x uint64) int { return bits.OnesCount64(x) }

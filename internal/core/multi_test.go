@@ -87,9 +87,12 @@ func TestMultiCSRoundIsMaximalIndependentSet(t *testing.T) {
 	mm := NewMulti(DefaultMultiParams(6))
 	src := rng.New(9)
 	pThresh := mm.model.ThresholdPower(mm.p.DThresh)
+	sc := mm.newScratch()
+	n := mm.p.NPairs
+	sensed := func(i, j int) bool { return sc.gSense[i*n+j] > pThresh }
 	for trial := 0; trial < 200; trial++ {
-		c := mm.sample(src)
-		active := mm.csRound(src, c, pThresh)
+		mm.sampleInto(src, sc)
+		active := mm.csRound(src, sc, pThresh)
 		if active == 0 {
 			t.Fatal("empty active set")
 		}
@@ -97,7 +100,7 @@ func TestMultiCSRoundIsMaximalIndependentSet(t *testing.T) {
 		for i := 0; i < 6; i++ {
 			for j := i + 1; j < 6; j++ {
 				if active&(1<<uint(i)) != 0 && active&(1<<uint(j)) != 0 &&
-					mm.sensed(c, i, j, pThresh) {
+					sensed(i, j) {
 					t.Fatalf("active senders %d,%d sense each other", i, j)
 				}
 			}
@@ -109,7 +112,7 @@ func TestMultiCSRoundIsMaximalIndependentSet(t *testing.T) {
 			}
 			blocked := false
 			for j := 0; j < 6; j++ {
-				if active&(1<<uint(j)) != 0 && mm.sensed(c, i, j, pThresh) {
+				if active&(1<<uint(j)) != 0 && sensed(i, j) {
 					blocked = true
 					break
 				}

@@ -174,12 +174,23 @@ type Station struct {
 	st           state
 	cw           int
 	backoffSlots int
-	timer        *sim.Event
+	timer        sim.Event
 	pending      phy.Frame
 	retries      int
 	navUntil     sim.Time
 	deferStart   sim.Time
 	protectNext  int // remaining frames to protect with RTS (adaptive)
+
+	// Pre-bound timer callbacks, built once in NewStation: the DCF loop
+	// schedules thousands of DIFS/slot/timeout timers per simulated
+	// second, and binding the methods per call would allocate a closure
+	// for every one of them.
+	difsExpiredFn  func()
+	slotTickFn     func()
+	ackTimeoutFn   func()
+	ctsTimeoutFn   func()
+	transmitDataFn func()
+	navWakeFn      func()
 
 	// Adaptive RTS bookkeeping: outcomes of recent unicast data.
 	recentOutcomes []bool
@@ -204,6 +215,12 @@ func NewStation(s *sim.Simulator, radio *phy.Radio, cfg Config, src *rng.Source,
 		rates = FixedRate{Rate: cfg.BasicRate}
 	}
 	st := &Station{cfg: cfg, s: s, radio: radio, src: src, rates: rates, cw: cfg.CWMin}
+	st.difsExpiredFn = st.difsExpired
+	st.slotTickFn = st.slotTick
+	st.ackTimeoutFn = st.ackTimeout
+	st.ctsTimeoutFn = st.ctsTimeout
+	st.transmitDataFn = st.transmitData
+	st.navWakeFn = st.navWake
 	radio.OnCCA = st.onCCA
 	radio.OnTxDone = st.onTxDone
 	radio.OnRx = st.onRx
@@ -282,18 +299,22 @@ func (st *Station) enterWaitIdle() {
 func (st *Station) scheduleNAVWake() {
 	until := st.navUntil
 	st.cancelTimer()
-	st.timer = st.s.At(until, func() {
-		if st.st == stWaitIdle && !st.busy() {
-			st.Stats.NAVNanos += until - st.deferStart
-			st.enterDIFS()
-		}
-	})
+	st.timer = st.s.At(until, st.navWakeFn)
+}
+
+// navWake fires at the NAV expiry the wake was armed for (the timer is
+// canceled on any state change, so Now() is that expiry).
+func (st *Station) navWake() {
+	if st.st == stWaitIdle && !st.busy() {
+		st.Stats.NAVNanos += st.s.Now() - st.deferStart
+		st.enterDIFS()
+	}
 }
 
 func (st *Station) enterDIFS() {
 	st.st = stDIFS
 	st.cancelTimer()
-	st.timer = st.s.After(st.cfg.DIFS, st.difsExpired)
+	st.timer = st.s.After(st.cfg.DIFS, st.difsExpiredFn)
 }
 
 func (st *Station) difsExpired() {
@@ -314,13 +335,16 @@ func (st *Station) scheduleSlot() {
 		return
 	}
 	st.cancelTimer()
-	st.timer = st.s.After(st.cfg.SlotTime, func() {
-		if st.st != stBackoff {
-			return
-		}
-		st.backoffSlots--
-		st.scheduleSlot()
-	})
+	st.timer = st.s.After(st.cfg.SlotTime, st.slotTickFn)
+}
+
+// slotTick burns one backoff slot.
+func (st *Station) slotTick() {
+	if st.st != stBackoff {
+		return
+	}
+	st.backoffSlots--
+	st.scheduleSlot()
 }
 
 // onCCA freezes and resumes the contention process.
@@ -422,7 +446,7 @@ func (st *Station) onTxDone(f phy.Frame) {
 			phyCfg := radioConfig(st.radio)
 			timeout := st.cfg.SIFS + phyCfg.FrameDuration(14, st.cfg.BasicRate) + 25*sim.Microsecond
 			st.cancelTimer()
-			st.timer = st.s.After(timeout, st.ackTimeout)
+			st.timer = st.s.After(timeout, st.ackTimeoutFn)
 			return
 		}
 		// Broadcast (or unacked unicast): fire-and-forget.
@@ -432,7 +456,7 @@ func (st *Station) onTxDone(f phy.Frame) {
 		phyCfg := radioConfig(st.radio)
 		timeout := st.cfg.SIFS + phyCfg.FrameDuration(14, st.cfg.BasicRate) + 25*sim.Microsecond
 		st.cancelTimer()
-		st.timer = st.s.After(timeout, st.ctsTimeout)
+		st.timer = st.s.After(timeout, st.ctsTimeoutFn)
 	case phy.FrameACK, phy.FrameCTS:
 		// Control responses need no follow-up from us; if we were in a
 		// respond turnaround, resume contention for our own traffic.
@@ -572,8 +596,7 @@ func (st *Station) onRx(res phy.RxResult) {
 	case phy.FrameCTS:
 		if f.Dst == st.radio.ID() && st.st == stWaitCTS {
 			st.cancelTimer()
-			st.cancelTimer()
-			st.timer = st.s.After(st.cfg.SIFS, st.transmitData)
+			st.timer = st.s.After(st.cfg.SIFS, st.transmitDataFn)
 			st.st = stTx
 		}
 	case phy.FrameData:
@@ -612,10 +635,8 @@ func (st *Station) respondAfterSIFS(f phy.Frame) {
 }
 
 func (st *Station) cancelTimer() {
-	if st.timer != nil {
-		st.timer.Cancel()
-		st.timer = nil
-	}
+	st.timer.Cancel()
+	st.timer = sim.Event{}
 }
 
 // radioConfig fetches the PHY config via the radio's medium. Kept as a

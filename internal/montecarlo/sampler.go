@@ -138,9 +138,16 @@ var (
 
 // SetDefaultSampler installs the sampler name KernelMeanVec stamps
 // into requests. The name must be registered; "" restores plain.
+// "plain" is canonicalized to "" so the default strategy has exactly
+// one request identity — an explicit `-sampler plain` run shares wire
+// jobs and cache entries with a default run instead of re-evaluating
+// bit-identical results under a second key.
 func SetDefaultSampler(name string) error {
 	if !HasSampler(name) {
 		return fmt.Errorf("montecarlo: unknown sampler %q (registered: %v)", name, SamplerNames())
+	}
+	if name == SamplerPlain {
+		name = ""
 	}
 	defaultSamplerMu.Lock()
 	defaultSampler = name

@@ -17,6 +17,20 @@
 //     (optionally) preamble carrier sense while locked on a frame.
 //     Per-radio thresholds support the "threshold asymmetry" pathology
 //     of §5.
+//
+// Hot-path design: every dB-domain quantity that the per-frame loops
+// consult — noise floors, CCA thresholds, transmit powers, preamble
+// sensitivity, capture SINR — is converted to linear milliwatts once,
+// at configuration time, not per query. Channels that can supply
+// linear-scale gains directly (the testbed's precomputed gain matrix)
+// implement LinearChannel and skip the dB conversion entirely; the
+// per-frame fading draw is cached as a linear factor per (transmission,
+// radio). Transmission records are pooled on the Medium and event
+// scheduling uses the simulator's argument-passing form, so a saturated
+// run allocates nothing per frame. In-flight transmissions live in a
+// slice in air-start order, making every interference sum — and
+// therefore every simulation — deterministic (a map here would
+// randomize float summation order).
 package phy
 
 import (
@@ -41,6 +55,16 @@ const Broadcast NodeID = -1
 // deliberately modeling asymmetric hardware.
 type Channel interface {
 	GainDB(from, to NodeID) float64
+}
+
+// LinearChannel is an optional extension of Channel supplying the
+// linear-scale power gain 10^(GainDB/10) directly. The medium prefers
+// it on every per-frame power query, hoisting the dB-to-linear
+// conversion out of the event loop; implementations precompute the
+// linear matrix once per realization (see testbed.Generate).
+type LinearChannel interface {
+	Channel
+	GainLin(from, to NodeID) float64
 }
 
 // OutageChannel is an optional extension of Channel supplying per-link
@@ -127,6 +151,16 @@ func (c Config) FrameDuration(bytes int, rate capacity.Rate) sim.Time {
 	return c.PLCPOverhead + sim.Time(symbols)*c.SymbolDuration
 }
 
+// dbLn converts a dB exponent to a natural one: 10^(x/10) = e^(x·dbLn).
+// math.Exp is substantially cheaper than math.Pow.
+const dbLn = math.Ln10 / 10
+
+// DBToLin converts dB (or dBm) to a linear factor (or mW). It is the
+// one conversion every linear-scale cache in the simulator goes
+// through — the testbed's gain matrix included — so bit-identity
+// between precomputed and on-the-fly paths holds by construction.
+func DBToLin(db float64) float64 { return math.Exp(dbLn * db) }
+
 // FrameKind distinguishes MAC frame types on the air.
 type FrameKind int
 
@@ -168,15 +202,20 @@ type Frame struct {
 	NAV sim.Time
 }
 
-// transmission is a frame in flight.
+// transmission is a frame in flight. Records are pooled on the Medium:
+// one is acquired per Transmit and released when the frame leaves the
+// air, so a saturated run recycles a handful of records instead of
+// allocating one (plus a fading map) per frame.
 type transmission struct {
 	frame      Frame
 	start, end sim.Time
 	txPowerDBm float64
-	// fadeDB caches the per-receiver fading draw for this frame so
-	// every power query during the frame's lifetime sees one
-	// consistent channel state.
-	fadeDB map[NodeID]float64
+	txPowerMw  float64
+	// fadeLin caches the per-receiver linear fading factor for this
+	// frame, indexed by radio ordinal, so every power query during the
+	// frame's lifetime sees one consistent channel state. 0 means "not
+	// yet drawn" (a drawn factor is always positive).
+	fadeLin []float64
 }
 
 // RxResult reports a completed reception attempt to a listener.
@@ -188,7 +227,9 @@ type RxResult struct {
 	Survival float64 // modeled survival probability the success draw used
 }
 
-// reception tracks a radio locked onto a frame.
+// reception tracks a radio locked onto a frame. Each radio embeds one
+// reception record (a radio locks at most one frame at a time), so
+// locking allocates nothing.
 type reception struct {
 	tx        *transmission
 	signalMw  float64 // received signal power, linear mW
@@ -201,8 +242,10 @@ type reception struct {
 // Radio is one node's PHY. Create via Medium.AddRadio.
 type Radio struct {
 	id         NodeID
+	ord        int // index in Medium.ordered; fadeLin cache slot
 	medium     *Medium
 	txPowerDBm float64
+	txPowerMw  float64
 
 	// ccaOffsetDB shifts this radio's CCA threshold from the medium
 	// default (threshold asymmetry pathology).
@@ -211,8 +254,14 @@ type Radio struct {
 	// default (hardware noise floor variation, footnote 20).
 	noiseOffsetDB float64
 
+	// Linear-scale caches of the dB configuration above; recomputed on
+	// every setter so the event loop never converts dB.
+	noiseMw     float64
+	ccaThreshMw float64
+
 	transmitting *transmission
 	rx           *reception
+	rxData       reception // storage rx points into while locked
 	ccaBusy      bool
 
 	// OnCCA, when non-nil, is called on every CCA busy/idle
@@ -231,10 +280,16 @@ func (r *Radio) ID() NodeID { return r.id }
 
 // SetCCAOffsetDB shifts this radio's CCA threshold relative to the
 // medium default (positive = less sensitive, defers less).
-func (r *Radio) SetCCAOffsetDB(db float64) { r.ccaOffsetDB = db }
+func (r *Radio) SetCCAOffsetDB(db float64) {
+	r.ccaOffsetDB = db
+	r.ccaThreshMw = DBToLin(r.medium.cfg.CCAThresholdDBm + db)
+}
 
 // SetNoiseOffsetDB shifts this radio's noise floor.
-func (r *Radio) SetNoiseOffsetDB(db float64) { r.noiseOffsetDB = db }
+func (r *Radio) SetNoiseOffsetDB(db float64) {
+	r.noiseOffsetDB = db
+	r.noiseMw = DBToLin(r.medium.cfg.NoiseFloorDBm + db)
+}
 
 // TxPowerDBm returns the radio's transmit power.
 func (r *Radio) TxPowerDBm() float64 { return r.txPowerDBm }
@@ -251,6 +306,8 @@ func (r *Radio) Receiving() bool { return r.rx != nil }
 type Medium struct {
 	sim    *sim.Simulator
 	ch     Channel
+	lin    LinearChannel // non-nil when ch supplies linear gains
+	oc     OutageChannel // non-nil when ch supplies per-link outage probs
 	cfg    Config
 	src    *rng.Source
 	radios map[NodeID]*Radio
@@ -258,20 +315,41 @@ type Medium struct {
 	// iteration uses it so that callback order — and therefore every
 	// simulation — is deterministic (Go map order is randomized).
 	ordered []*Radio
-	active  map[*transmission]struct{}
-	seq     uint64
+	// active holds in-flight transmissions in air-start order; the
+	// fixed order keeps interference sums (float addition is not
+	// associative) deterministic.
+	active []*transmission
+	txPool []*transmission
+	seq    uint64
+
+	// Linear-scale caches of medium-wide thresholds.
+	preambleSensMw float64
+	captureSINRLin float64
+	fadeZero       bool
+
+	// Pre-bound event callbacks, so Transmit schedules with At1 instead
+	// of allocating two closures per frame.
+	goLiveFn func(any)
+	endTxFn  func(any)
 }
 
 // NewMedium creates a medium over the given channel realization.
 func NewMedium(s *sim.Simulator, ch Channel, cfg Config, src *rng.Source) *Medium {
-	return &Medium{
-		sim:    s,
-		ch:     ch,
-		cfg:    cfg,
-		src:    src,
-		radios: make(map[NodeID]*Radio),
-		active: make(map[*transmission]struct{}),
+	m := &Medium{
+		sim:            s,
+		ch:             ch,
+		cfg:            cfg,
+		src:            src,
+		radios:         make(map[NodeID]*Radio),
+		preambleSensMw: DBToLin(cfg.PreambleSensitivityDBm),
+		captureSINRLin: DBToLin(cfg.PreambleCaptureSINRdB),
+		fadeZero:       cfg.Fade.Zero(),
 	}
+	m.lin, _ = ch.(LinearChannel)
+	m.oc, _ = ch.(OutageChannel)
+	m.goLiveFn = func(a any) { m.goLive(a.(*transmission)) }
+	m.endTxFn = func(a any) { m.endTransmission(a.(*transmission)) }
+	return m
 }
 
 // Config returns the medium's PHY configuration.
@@ -285,7 +363,27 @@ func (m *Medium) AddRadio(id NodeID, txPowerDBm float64) *Radio {
 	if _, dup := m.radios[id]; dup {
 		panic(fmt.Sprintf("phy: duplicate radio %d", id))
 	}
-	r := &Radio{id: id, medium: m, txPowerDBm: txPowerDBm}
+	// Late registration: transmissions already committed cache fading
+	// per radio ordinal, so grow their caches to cover the newcomer
+	// (every outstanding transmission is some radio's transmitting,
+	// whether or not it has gone live yet).
+	n := len(m.ordered) + 1
+	for _, rr := range m.ordered {
+		if tx := rr.transmitting; tx != nil && len(tx.fadeLin) < n {
+			grown := make([]float64, n)
+			copy(grown, tx.fadeLin)
+			tx.fadeLin = grown
+		}
+	}
+	r := &Radio{
+		id:          id,
+		ord:         len(m.ordered),
+		medium:      m,
+		txPowerDBm:  txPowerDBm,
+		txPowerMw:   DBToLin(txPowerDBm),
+		noiseMw:     DBToLin(m.cfg.NoiseFloorDBm),
+		ccaThreshMw: DBToLin(m.cfg.CCAThresholdDBm),
+	}
 	m.radios[id] = r
 	m.ordered = append(m.ordered, r)
 	return r
@@ -294,34 +392,49 @@ func (m *Medium) AddRadio(id NodeID, txPowerDBm float64) *Radio {
 // Radio returns the radio with the given ID, or nil.
 func (m *Medium) Radio(id NodeID) *Radio { return m.radios[id] }
 
+// gainLin returns the linear power gain of the from→to link.
+func (m *Medium) gainLin(from, to NodeID) float64 {
+	if m.lin != nil {
+		return m.lin.GainLin(from, to)
+	}
+	return DBToLin(m.ch.GainDB(from, to))
+}
+
 // rxPowerMw returns the linear received power (mW) of tx at radio r,
 // including the frame's per-link fading draw.
 func (m *Medium) rxPowerMw(tx *transmission, r *Radio) float64 {
-	gain := m.ch.GainDB(tx.frame.Src, r.id)
-	if !m.cfg.Fade.Zero() {
-		fade, ok := tx.fadeDB[r.id]
-		if !ok {
-			fade = m.src.Normal(0, m.cfg.Fade.SigmaDB)
-			p := m.cfg.Fade.OutageProb
-			if oc, ok := m.ch.(OutageChannel); ok {
-				p = oc.OutageProbability(tx.frame.Src, r.id)
-			}
-			if p > 0 && m.src.Float64() < p {
-				fade -= m.cfg.Fade.OutageDepthDB
-			}
-			tx.fadeDB[r.id] = fade
+	p := tx.txPowerMw * m.gainLin(tx.frame.Src, r.id)
+	if !m.fadeZero {
+		f := tx.fadeLin[r.ord]
+		if f == 0 {
+			f = m.drawFade(tx, r)
 		}
-		gain += fade
+		p *= f
 	}
-	return math.Pow(10, (tx.txPowerDBm+gain)/10)
+	return p
+}
+
+// drawFade draws and caches the frame's fading factor at radio r.
+func (m *Medium) drawFade(tx *transmission, r *Radio) float64 {
+	fade := m.src.Normal(0, m.cfg.Fade.SigmaDB)
+	p := m.cfg.Fade.OutageProb
+	if m.oc != nil {
+		p = m.oc.OutageProbability(tx.frame.Src, r.id)
+	}
+	if p > 0 && m.src.Float64() < p {
+		fade -= m.cfg.Fade.OutageDepthDB
+	}
+	f := DBToLin(fade)
+	tx.fadeLin[r.ord] = f
+	return f
 }
 
 // interferenceMwAt returns the total power (mW) of all active
 // transmissions at radio r, excluding any transmission in skip and
-// excluding r's own transmission.
+// excluding r's own transmission. Summation follows air-start order.
 func (m *Medium) interferenceMwAt(r *Radio, skip *transmission) float64 {
 	total := 0.0
-	for tx := range m.active {
+	for _, tx := range m.active {
 		if tx == skip || tx.frame.Src == r.id {
 			continue
 		}
@@ -331,9 +444,7 @@ func (m *Medium) interferenceMwAt(r *Radio, skip *transmission) float64 {
 }
 
 // noiseMwAt returns radio r's noise floor in mW.
-func (m *Medium) noiseMwAt(r *Radio) float64 {
-	return math.Pow(10, (m.cfg.NoiseFloorDBm+r.noiseOffsetDB)/10)
-}
+func (m *Medium) noiseMwAt(r *Radio) float64 { return r.noiseMw }
 
 // CCABusy reports the instantaneous clear channel assessment at radio
 // r: busy while transmitting, while locked on a preamble (if preamble
@@ -346,9 +457,7 @@ func (m *Medium) CCABusy(r *Radio) bool {
 	if m.cfg.PreambleCarrierSense && r.rx != nil {
 		return true
 	}
-	power := m.interferenceMwAt(r, nil)
-	threshold := math.Pow(10, (m.cfg.CCAThresholdDBm+r.ccaOffsetDB)/10)
-	return power > threshold
+	return m.interferenceMwAt(r, nil) > r.ccaThreshMw
 }
 
 // CCABusy reports the radio's current clear channel assessment.
@@ -372,6 +481,31 @@ func (m *Medium) RSSIdBm(from, to NodeID) float64 {
 	return f.txPowerDBm + m.ch.GainDB(from, to)
 }
 
+// acquireTx claims a pooled transmission record sized to the current
+// radio population.
+func (m *Medium) acquireTx() *transmission {
+	n := len(m.txPool)
+	if n == 0 {
+		return &transmission{fadeLin: make([]float64, len(m.ordered))}
+	}
+	tx := m.txPool[n-1]
+	m.txPool[n-1] = nil
+	m.txPool = m.txPool[:n-1]
+	if len(tx.fadeLin) < len(m.ordered) {
+		tx.fadeLin = make([]float64, len(m.ordered))
+	}
+	return tx
+}
+
+// releaseTx clears the record's fading cache and returns it to the
+// pool. Callers must not retain tx past this point.
+func (m *Medium) releaseTx(tx *transmission) {
+	for i := range tx.fadeLin {
+		tx.fadeLin[i] = 0
+	}
+	m.txPool = append(m.txPool, tx)
+}
+
 // Transmit commits radio r to sending a frame. Energy appears on the
 // air after the configured TxTurnaround — once committed, the radio
 // cannot abort, so two stations deciding within the turnaround window
@@ -387,35 +521,42 @@ func (r *Radio) Transmit(frame Frame) sim.Time {
 	frame.Seq = m.seq
 	dur := m.cfg.FrameDuration(frame.Bytes, frame.Rate)
 	airStart := m.sim.Now() + m.cfg.TxTurnaround
-	tx := &transmission{
-		frame:      frame,
-		start:      airStart,
-		end:        airStart + dur,
-		txPowerDBm: r.txPowerDBm,
-		fadeDB:     make(map[NodeID]float64),
-	}
+	tx := m.acquireTx()
+	tx.frame = frame
+	tx.start = airStart
+	tx.end = airStart + dur
+	tx.txPowerDBm = r.txPowerDBm
+	tx.txPowerMw = r.txPowerMw
 	// A radio that commits to transmitting abandons any reception in
 	// progress (half-duplex).
 	if r.rx != nil {
 		r.rx = nil
 	}
 	r.transmitting = tx
-	goLive := func() {
-		m.active[tx] = struct{}{}
-		m.onAirChange(tx, true)
-	}
 	if m.cfg.TxTurnaround > 0 {
-		m.sim.At(airStart, goLive)
+		m.sim.At1(airStart, m.goLiveFn, tx)
 	} else {
-		goLive()
+		m.goLive(tx)
 	}
-	m.sim.At(tx.end, func() { m.endTransmission(tx) })
+	m.sim.At1(tx.end, m.endTxFn, tx)
 	return tx.end
 }
 
-// endTransmission removes tx from the air and resolves receptions.
+// goLive puts a committed transmission on the air.
+func (m *Medium) goLive(tx *transmission) {
+	m.active = append(m.active, tx)
+	m.onAirChange(tx, true)
+}
+
+// endTransmission removes tx from the air, resolves receptions, and
+// recycles the record.
 func (m *Medium) endTransmission(tx *transmission) {
-	delete(m.active, tx)
+	for i, a := range m.active {
+		if a == tx {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
 	sender := m.radios[tx.frame.Src]
 	sender.transmitting = nil
 	m.onAirChange(tx, false)
@@ -430,6 +571,7 @@ func (m *Medium) endTransmission(tx *transmission) {
 	}
 	// Senders' CCA may have changed by their own TX ending.
 	m.refreshCCA()
+	m.releaseTx(tx)
 }
 
 // onAirChange updates every radio's reception segments and attempts
@@ -460,22 +602,21 @@ func (m *Medium) tryLock(tx *transmission) {
 			continue
 		}
 		sig := m.rxPowerMw(tx, r)
-		sigDBm := 10 * math.Log10(sig)
-		if sigDBm < m.cfg.PreambleSensitivityDBm {
+		if sig < m.preambleSensMw {
 			continue
 		}
 		interf := m.interferenceMwAt(r, tx)
-		sinr := sig / (m.noiseMwAt(r) + interf)
-		if 10*math.Log10(sinr) < m.cfg.PreambleCaptureSINRdB {
+		if sig < m.captureSINRLin*(r.noiseMw+interf) {
 			continue
 		}
-		r.rx = &reception{
+		r.rxData = reception{
 			tx:       tx,
 			signalMw: sig,
 			survival: 1,
 			segStart: m.sim.Now(),
 			interfMw: interf,
 		}
+		r.rx = &r.rxData
 	}
 }
 
@@ -487,14 +628,16 @@ func (m *Medium) closeSegment(r *Radio, now sim.Time) {
 		return
 	}
 	segDur := now - rx.segStart
-	sinr := rx.signalMw / (m.noiseMwAt(r) + rx.interfMw)
+	sinr := rx.signalMw / (r.noiseMw + rx.interfMw)
 	sinrDB := 10 * math.Log10(sinr)
 	// Fraction of the frame's airtime this segment covers; per-byte
 	// survival at this SINR raised to the bytes in the segment.
-	frameDur := rx.tx.end - rx.tx.start
-	frac := float64(segDur) / float64(frameDur)
 	per := capacity.PER(rx.tx.frame.Rate, sinrDB, rx.tx.frame.Bytes)
-	rx.survival *= math.Pow(1-per, frac)
+	if per > 0 {
+		frameDur := rx.tx.end - rx.tx.start
+		frac := float64(segDur) / float64(frameDur)
+		rx.survival *= math.Pow(1-per, frac)
+	}
 	rx.weightedI += float64(segDur) * rx.interfMw
 	rx.segStart = now
 }
@@ -506,7 +649,7 @@ func (m *Medium) finishReception(r *Radio) {
 	r.rx = nil
 	frameDur := float64(rx.tx.end - rx.tx.start)
 	avgInterf := rx.weightedI / frameDur
-	sinr := rx.signalMw / (m.noiseMwAt(r) + avgInterf)
+	sinr := rx.signalMw / (r.noiseMw + avgInterf)
 	ok := m.src.Float64() < rx.survival
 	if r.OnRx != nil {
 		r.OnRx(RxResult{
@@ -537,7 +680,7 @@ func (m *Medium) refreshCCA() {
 // by the protocol path.
 func (m *Medium) SINRdBBetween(src, dst NodeID) float64 {
 	from, to := m.radios[src], m.radios[dst]
-	sig := math.Pow(10, (from.txPowerDBm+m.ch.GainDB(src, dst))/10)
+	sig := from.txPowerMw * m.gainLin(src, dst)
 	interf := m.interferenceMwAt(to, nil)
-	return 10 * math.Log10(sig/(m.noiseMwAt(to)+interf))
+	return 10 * math.Log10(sig/(to.noiseMw+interf))
 }

@@ -401,3 +401,114 @@ func TestFrameDurationDSSS(t *testing.T) {
 		t.Error("DSSS/OFDM airtime relation wrong")
 	}
 }
+
+// linChannel implements LinearChannel over a flat dB gain, with the
+// linear value precomputed — the testbed's gain-matrix shape in
+// miniature.
+type linChannel struct {
+	db  float64
+	lin float64
+}
+
+func newLinChannel(db float64) linChannel {
+	return linChannel{db: db, lin: DBToLin(db)}
+}
+
+func (c linChannel) GainDB(from, to NodeID) float64  { return c.db }
+func (c linChannel) GainLin(from, to NodeID) float64 { return c.lin }
+
+// TestLinearChannelMatchesGeneric pins the LinearChannel fast path to
+// the generic dB path: the same scenario over the same gains must
+// deliver identically whichever interface the channel exposes.
+func TestLinearChannelMatchesGeneric(t *testing.T) {
+	run := func(ch Channel) (delivered int, sinr float64) {
+		src := rng.New(9)
+		s := sim.New()
+		m := NewMedium(s, ch, quiet(), src.Split())
+		tx := m.AddRadio(1, 15)
+		rx := m.AddRadio(2, 15)
+		rx.OnRx = func(res RxResult) {
+			if res.OK {
+				delivered++
+				sinr = res.SINRdB
+			}
+		}
+		for i := 0; i < 20; i++ {
+			s.After(sim.Time(i)*3*sim.Millisecond, func() {
+				if !tx.Transmitting() {
+					tx.Transmit(Frame{Dst: Broadcast, Kind: FrameData, Bytes: 1400, Rate: rate6})
+				}
+			})
+		}
+		s.RunAll()
+		return delivered, sinr
+	}
+	lin := newLinChannel(-70)
+	genericDelivered, genericSINR := run(dbOnly{lin})
+	linDelivered, linSINR := run(lin)
+	if genericDelivered != linDelivered {
+		t.Fatalf("delivery differs: generic %d, linear %d", genericDelivered, linDelivered)
+	}
+	if math.Abs(genericSINR-linSINR) > 1e-9 {
+		t.Errorf("SINR differs: generic %v, linear %v", genericSINR, linSINR)
+	}
+}
+
+// dbOnly hides the GainLin method so the medium takes the generic path.
+type dbOnly struct{ ch linChannel }
+
+func (c dbOnly) GainDB(from, to NodeID) float64 { return c.ch.GainDB(from, to) }
+
+// TestPerFrameAllocs guards the per-frame PHY+MAC allocation budget: a
+// warm saturated run — pooled transmissions, embedded receptions,
+// recycled event slots, pre-bound timer callbacks — must not allocate
+// per frame. This is the hot-path pin behind the simulator lane of
+// BENCH_<date>.json.
+func TestPerFrameAllocs(t *testing.T) {
+	src := rng.New(3)
+	s := sim.New()
+	cfg := DefaultConfig() // fading on: the draw path must be alloc-free too
+	m := NewMedium(s, newLinChannel(-60), cfg, src.Split())
+	tx := m.AddRadio(1, 15)
+	rx := m.AddRadio(2, 15)
+	_ = rx
+	frames := 0
+	tx.OnTxDone = func(Frame) {
+		frames++
+		tx.Transmit(Frame{Dst: Broadcast, Kind: FrameData, Bytes: 1400, Rate: rate6})
+	}
+	tx.Transmit(Frame{Dst: Broadcast, Kind: FrameData, Bytes: 1400, Rate: rate6})
+	until := sim.Time(0)
+	run := func() {
+		until += 50 * sim.Millisecond
+		s.Run(until)
+	}
+	run() // warm the pools
+	framesBefore := frames
+	allocs := testing.AllocsPerRun(5, run)
+	framesPerRun := float64(frames-framesBefore) / 6 // warmup call + 5 measured
+	if framesPerRun < 10 {
+		t.Fatalf("run too short: %.0f frames per run", framesPerRun)
+	}
+	if perFrame := allocs / framesPerRun; perFrame > 0.01 {
+		t.Errorf("PHY path allocates %.3f objects/frame (%.0f over %.0f frames), want ~0",
+			perFrame, allocs, framesPerRun)
+	}
+}
+
+// TestAddRadioDuringTransmission covers late radio registration while
+// a faded transmission is in flight: the newcomer's ordinal must index
+// safely into the in-flight fade caches.
+func TestAddRadioDuringTransmission(t *testing.T) {
+	src := rng.New(5)
+	s := sim.New()
+	cfg := DefaultConfig() // fading on
+	m := NewMedium(s, newLinChannel(-70), cfg, src.Split())
+	tx := m.AddRadio(1, 15)
+	m.AddRadio(2, 15)
+	tx.Transmit(Frame{Dst: Broadcast, Kind: FrameData, Bytes: 1400, Rate: rate6})
+	s.Run(50 * sim.Microsecond) // frame is on the air
+	late := m.AddRadio(3, 15)
+	late.CCABusy() // queries rxPowerMw for the in-flight frame
+	s.RunAll()
+}

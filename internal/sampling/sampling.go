@@ -94,7 +94,14 @@ func (antitheticSampler) Stream(n int, src *rng.Source) montecarlo.SampleStream 
 		if st.idx < len(st.rec) {
 			u := st.rec[st.idx]
 			st.idx++
-			return 1 - u
+			// WithUniforms requires [0, 1); a recorded u of exactly 0
+			// would mirror to 1.0 and drive the inverse transforms that
+			// use log(1-u) (Exp, Rayleigh) to infinity, poisoning the
+			// shard accumulator. Clamp one ulp below 1.
+			if m := 1 - u; m < 1 {
+				return m
+			}
+			return 1 - 0x1p-53
 		}
 		// The mirrored sample consumed more uniforms than its partner
 		// recorded (possible only for integrands whose draw count

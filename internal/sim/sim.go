@@ -2,10 +2,20 @@
 // priority queue of timed events, and deterministic FIFO ordering for
 // simultaneous events. The packet-level 802.11 reproduction of the
 // paper's testbed experiments (internal/phy, internal/mac) runs on it.
+//
+// The engine is built for the packet simulator's event rates (hundreds
+// of thousands of events per simulated second across thousands of
+// replications): event records live in a slab owned by the Simulator
+// and are recycled through a freelist, the priority queue is a 4-ary
+// heap of slot indices (no per-event allocation, no interface boxing),
+// and the At1/After1 forms let hot callers schedule a pre-built
+// callback with an argument instead of allocating a fresh closure per
+// event. Recycled slots carry a generation counter, so an Event handle
+// kept past its firing (or cancellation) goes harmlessly stale instead
+// of poisoning whatever event reuses the slot.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -38,58 +48,65 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 // FromMicros converts float64 microseconds to a Time.
 func FromMicros(us float64) Time { return Time(us * float64(Microsecond)) }
 
-// Event is a scheduled callback. Events are one-shot; cancel via
-// Cancel before they fire.
+// slot is one event record in the simulator's slab. Exactly one of fn
+// and fn1 is set while the slot is live. pos is the slot's position in
+// the heap, -1 while free. gen increments every time the slot is
+// released, so stale Event handles can be detected.
+type slot struct {
+	at  Time
+	seq uint64
+	gen uint32
+	pos int32
+	fn  func()
+	fn1 func(any)
+	arg any
+}
+
+// Event is a handle to a scheduled callback. Events are one-shot;
+// cancel via Cancel before they fire. The zero Event is valid and
+// refers to nothing. Handles are values: keeping one past the event's
+// firing (or cancellation) is safe — the handle goes stale and every
+// method on it becomes a no-op, even after the underlying slot has
+// been recycled for a new event.
 type Event struct {
-	at       Time
-	seq      uint64
-	index    int // heap index, -1 once removed
-	fn       func()
-	canceled bool
+	s   *Simulator
+	id  int32
+	gen uint32
 }
 
-// Cancel prevents the event from firing. Safe to call after the event
-// has fired (it is then a no-op).
-func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+// Cancel prevents the event from firing. Safe to call on the zero
+// Event and after the event has fired (both are no-ops): a stale
+// handle can never cancel the event that now occupies its recycled
+// slot, because the slot's generation has moved on.
+func (e Event) Cancel() {
+	if e.s == nil {
+		return
 	}
-}
-
-// Canceled reports whether Cancel was called.
-func (e *Event) Canceled() bool { return e != nil && e.canceled }
-
-// Time returns the scheduled fire time.
-func (e *Event) Time() Time { return e.at }
-
-// eventQueue implements heap.Interface ordered by (time, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+	sl := &e.s.slots[e.id]
+	if sl.gen != e.gen || sl.pos < 0 {
+		return
 	}
-	return q[i].seq < q[j].seq
+	e.s.removeHeap(sl.pos)
+	e.s.release(e.id)
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// Scheduled reports whether the event is still pending (not fired, not
+// canceled).
+func (e Event) Scheduled() bool {
+	if e.s == nil {
+		return false
+	}
+	sl := &e.s.slots[e.id]
+	return sl.gen == e.gen && sl.pos >= 0
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// Time returns the scheduled fire time, or 0 when the handle is stale
+// (the event already fired or was canceled).
+func (e Event) Time() Time {
+	if !e.Scheduled() {
+		return 0
+	}
+	return e.s.slots[e.id].at
 }
 
 // Simulator owns the clock and the event queue. It is not safe for
@@ -97,10 +114,12 @@ func (q *eventQueue) Pop() any {
 // experiments run independent Simulators).
 type Simulator struct {
 	now     Time
-	queue   eventQueue
 	seq     uint64
 	stopped bool
 	fired   uint64
+	slots   []slot
+	free    []int32
+	heap    []int32
 }
 
 // New returns a Simulator at time zero.
@@ -114,49 +133,216 @@ func (s *Simulator) Now() Time { return s.now }
 // EventsFired returns the number of events executed so far.
 func (s *Simulator) EventsFired() uint64 { return s.fired }
 
-// Pending returns the number of events still queued (including
-// canceled ones not yet drained).
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending returns the number of events still queued. Canceled events
+// are removed from the queue immediately, so they never count.
+func (s *Simulator) Pending() int { return len(s.heap) }
+
+// alloc claims a slot from the freelist (or grows the slab) and fills
+// it. The slot keeps the generation its last release assigned.
+func (s *Simulator) alloc(t Time, fn func(), fn1 func(any), arg any) int32 {
+	var id int32
+	if n := len(s.free); n > 0 {
+		id = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slots = append(s.slots, slot{})
+		id = int32(len(s.slots) - 1)
+	}
+	sl := &s.slots[id]
+	sl.at = t
+	sl.seq = s.seq
+	sl.fn = fn
+	sl.fn1 = fn1
+	sl.arg = arg
+	s.seq++
+	return id
+}
+
+// release invalidates every handle to the slot and returns it to the
+// freelist. Callback references are dropped so fired events do not pin
+// their closures or arguments.
+func (s *Simulator) release(id int32) {
+	sl := &s.slots[id]
+	sl.gen++
+	sl.pos = -1
+	sl.fn = nil
+	sl.fn1 = nil
+	sl.arg = nil
+	s.free = append(s.free, id)
+}
+
+// less orders slots by (time, seq): FIFO among simultaneous events.
+func (s *Simulator) less(a, b int32) bool {
+	x, y := &s.slots[a], &s.slots[b]
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	return x.seq < y.seq
+}
+
+// The heap is 4-ary: parent(i) = (i-1)/4, children 4i+1 .. 4i+4.
+// Shallower than a binary heap, so pushes (the common operation — most
+// events fire in near-schedule order) walk fewer levels, and the four
+// children of a node share a cache line of indices.
+
+func (s *Simulator) pushHeap(id int32) {
+	i := int32(len(s.heap))
+	s.heap = append(s.heap, id)
+	s.slots[id].pos = i
+	s.siftUp(i)
+}
+
+func (s *Simulator) siftUp(i int32) {
+	h := s.heap
+	id := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(id, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		s.slots[h[i]].pos = i
+		i = parent
+	}
+	h[i] = id
+	s.slots[id].pos = i
+}
+
+func (s *Simulator) siftDown(i int32) {
+	h := s.heap
+	n := int32(len(h))
+	id := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !s.less(h[best], id) {
+			break
+		}
+		h[i] = h[best]
+		s.slots[h[i]].pos = i
+		i = best
+	}
+	h[i] = id
+	s.slots[id].pos = i
+}
+
+// removeHeap deletes the entry at heap position pos.
+func (s *Simulator) removeHeap(pos int32) {
+	n := int32(len(s.heap)) - 1
+	moved := s.heap[n]
+	s.heap = s.heap[:n]
+	if pos == n {
+		return
+	}
+	s.heap[pos] = moved
+	s.slots[moved].pos = pos
+	s.siftDown(pos)
+	s.siftUp(pos)
+}
+
+// popRoot removes the heap minimum (which the caller has already read).
+func (s *Simulator) popRoot() {
+	n := int32(len(s.heap)) - 1
+	moved := s.heap[n]
+	s.heap = s.heap[:n]
+	if n == 0 {
+		return
+	}
+	s.heap[0] = moved
+	s.slots[moved].pos = 0
+	s.siftDown(0)
+}
 
 // At schedules fn at absolute time t, which must not be in the past.
-func (s *Simulator) At(t Time, fn func()) *Event {
+func (s *Simulator) At(t Time, fn func()) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, s.now))
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	id := s.alloc(t, fn, nil, nil)
+	s.pushHeap(id)
+	return Event{s: s, id: id, gen: s.slots[id].gen}
+}
+
+// At1 schedules fn(arg) at absolute time t. It is the allocation-free
+// form for hot callers: fn is typically built once per component and
+// arg carries the per-event state, so scheduling costs no closure
+// allocation.
+func (s *Simulator) At1(t Time, fn func(any), arg any) Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	id := s.alloc(t, nil, fn, arg)
+	s.pushHeap(id)
+	return Event{s: s, id: id, gen: s.slots[id].gen}
 }
 
 // After schedules fn after delay d from now.
-func (s *Simulator) After(d Time, fn func()) *Event {
+func (s *Simulator) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
 	return s.At(s.now+d, fn)
 }
 
+// After1 schedules fn(arg) after delay d from now.
+func (s *Simulator) After1(d Time, fn func(any), arg any) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return s.At1(s.now+d, fn, arg)
+}
+
 // Stop halts Run after the current event returns.
 func (s *Simulator) Stop() { s.stopped = true }
+
+// fireRoot pops and executes the heap minimum. The slot is released
+// before the callback runs, so callbacks are free to schedule new
+// events into the recycled slot; the generation bump keeps old handles
+// stale.
+func (s *Simulator) fireRoot() {
+	id := s.heap[0]
+	sl := &s.slots[id]
+	at := sl.at
+	fn, fn1, arg := sl.fn, sl.fn1, sl.arg
+	s.popRoot()
+	s.release(id)
+	s.now = at
+	s.fired++
+	if fn != nil {
+		fn()
+	} else {
+		fn1(arg)
+	}
+}
 
 // Run executes events in timestamp order until the queue empties, the
 // clock passes until, or Stop is called. Events scheduled exactly at
 // until still run. It returns the final simulation time.
 func (s *Simulator) Run(until Time) Time {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		e := s.queue[0]
-		if e.at > until {
+	for len(s.heap) > 0 && !s.stopped {
+		if s.slots[s.heap[0]].at > until {
 			break
 		}
-		heap.Pop(&s.queue)
-		if e.canceled {
-			continue
-		}
-		s.now = e.at
-		s.fired++
-		e.fn()
+		s.fireRoot()
 	}
 	if s.now < until {
 		s.now = until
@@ -167,14 +353,8 @@ func (s *Simulator) Run(until Time) Time {
 // RunAll executes events until the queue is empty or Stop is called.
 func (s *Simulator) RunAll() Time {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.canceled {
-			continue
-		}
-		s.now = e.at
-		s.fired++
-		e.fn()
+	for len(s.heap) > 0 && !s.stopped {
+		s.fireRoot()
 	}
 	return s.now
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/rand/v2"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -64,9 +66,12 @@ func TestCancel(t *testing.T) {
 	s := New()
 	fired := false
 	e := s.After(10*Microsecond, func() { fired = true })
+	if !e.Scheduled() {
+		t.Error("Scheduled() false before Cancel")
+	}
 	e.Cancel()
-	if !e.Canceled() {
-		t.Error("Canceled() false after Cancel")
+	if e.Scheduled() {
+		t.Error("Scheduled() true after Cancel")
 	}
 	s.Run(Second)
 	if fired {
@@ -75,11 +80,143 @@ func TestCancel(t *testing.T) {
 	e.Cancel() // idempotent, including after drain
 }
 
-func TestCancelNil(t *testing.T) {
-	var e *Event
+func TestCancelZeroEvent(t *testing.T) {
+	var e Event
 	e.Cancel() // must not panic
-	if e.Canceled() {
-		t.Error("nil event reports canceled")
+	if e.Scheduled() {
+		t.Error("zero event reports scheduled")
+	}
+}
+
+// TestCancelAfterFireDoesNotPoisonReusedSlot is the regression test for
+// the slot-reuse hazard: once an event has fired, its slot may be
+// recycled for a new event, and a Cancel through the old handle must
+// not cancel (or otherwise disturb) the new occupant.
+func TestCancelAfterFireDoesNotPoisonReusedSlot(t *testing.T) {
+	s := New()
+	var stale Event
+	stale = s.After(10*Microsecond, func() {})
+	s.Run(20 * Microsecond) // stale has fired; its slot is free
+
+	fired := false
+	fresh := s.After(10*Microsecond, func() { fired = true })
+	if fresh.id != stale.id {
+		t.Fatalf("expected slot reuse (stale id %d, fresh id %d)", stale.id, fresh.id)
+	}
+	if fresh.gen == stale.gen {
+		t.Fatal("recycled slot did not advance its generation")
+	}
+	stale.Cancel() // must be a no-op on the recycled slot
+	if !fresh.Scheduled() {
+		t.Fatal("stale Cancel removed the event occupying the recycled slot")
+	}
+	if stale.Scheduled() {
+		t.Error("stale handle reports scheduled")
+	}
+	if stale.Time() != 0 {
+		t.Errorf("stale handle Time() = %v, want 0", stale.Time())
+	}
+	s.Run(Second)
+	if !fired {
+		t.Error("event in recycled slot never fired")
+	}
+}
+
+// TestHeapAgainstReference drives the 4-ary index heap with a
+// randomized schedule/cancel workload and checks the fire sequence
+// against a straightforward reference model (sorted by (time, seq),
+// canceled events skipped).
+func TestHeapAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 50; trial++ {
+		s := New()
+		type ref struct {
+			at  Time
+			seq int
+		}
+		var want []ref
+		var got []int
+		var events []Event
+		var refs []ref
+		n := 3 + rng.IntN(200)
+		for i := 0; i < n; i++ {
+			at := Time(rng.Int64N(1000)) * Microsecond
+			seq := i
+			e := s.At(at, func() { got = append(got, seq) })
+			events = append(events, e)
+			refs = append(refs, ref{at: at, seq: seq})
+		}
+		// Cancel a random subset before running.
+		canceled := map[int]bool{}
+		for i := range events {
+			if rng.Float64() < 0.3 {
+				events[i].Cancel()
+				canceled[i] = true
+			}
+		}
+		for i, r := range refs {
+			if !canceled[i] {
+				want = append(want, r)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].at != want[j].at {
+				return want[i].at < want[j].at
+			}
+			return want[i].seq < want[j].seq
+		})
+		s.RunAll()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i].seq {
+				t.Fatalf("trial %d: fire order %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestEventLoopAllocs guards the simulator's per-event allocation
+// budget: with slots recycled through the freelist and a pre-built
+// callback, a warm event loop must not allocate per event. This is the
+// tenfold-alloc-reduction pin of the hot-path overhaul — regressing it
+// (a boxed queue entry, a per-schedule closure) fails here before it
+// shows up in the benches.
+func TestEventLoopAllocs(t *testing.T) {
+	s := New()
+	const eventsPerRun = 10_000
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < eventsPerRun {
+			s.After(Microsecond, tick)
+		}
+	}
+	run := func() {
+		count = 0
+		s.After(Microsecond, tick)
+		s.RunAll()
+	}
+	run() // warm the slab
+	allocs := testing.AllocsPerRun(5, run)
+	if perEvent := allocs / eventsPerRun; perEvent > 0.001 {
+		t.Errorf("event loop allocates %.4f objects/event (%.0f per %d events), want ~0",
+			perEvent, allocs, eventsPerRun)
+	}
+}
+
+// TestAt1PassesArgument covers the allocation-free callback form.
+func TestAt1PassesArgument(t *testing.T) {
+	s := New()
+	var got []int
+	fn := func(a any) { got = append(got, a.(int)) }
+	s.At1(10*Microsecond, fn, 1)
+	s.After1(20*Microsecond, fn, 2)
+	s.RunAll()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("got = %v", got)
 	}
 }
 

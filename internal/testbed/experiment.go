@@ -176,16 +176,23 @@ func (r ExperimentResult) Summarize() Summary {
 // disjoint two-pair combinations from the qualifying links, then
 // measure each under every mode and rate with per-sender oracle rate
 // selection.
+//
+// Combo selection and seeding are planned up front (cheap and
+// sequential); the replications themselves — the expensive part — are
+// issued as testbed/combo sim-kernel requests through the installed
+// montecarlo executor and run in parallel, distributed, or from cache
+// (see kernel.go). Results are assembled in combo order, so the
+// experiment is bit-identical at any parallelism on any executor.
 func RunExperiment(tb *Testbed, p ExperimentParams, class RangeClass) ExperimentResult {
 	src := rng.New(p.Seed)
 	links := tb.QualifyingLinks(class)
 	src.Shuffle(len(links), func(i, j int) { links[i], links[j] = links[j], links[i] })
 	combos := selectCombos(links, p.MaxCombos, src)
-	result := ExperimentResult{Class: class}
-	for _, combo := range combos {
-		result.Combos = append(result.Combos, runCombo(tb, p, combo[0], combo[1], src.Uint64()))
+	seeds := make([]uint64, len(combos))
+	for i := range seeds {
+		seeds[i] = src.Uint64()
 	}
-	return result
+	return ExperimentResult{Class: class, Combos: runCombos(tb, p, combos, seeds)}
 }
 
 // selectCombos greedily pairs up links into node-disjoint two-pair

@@ -1,0 +1,297 @@
+package testbed
+
+// The testbed sim kernel: each two-pair replication — one (combo,
+// seed, duration) measurement under every mode and rate — is a
+// registered montecarlo kernel, which puts the packet simulator on the
+// same executor seam the Monte Carlo estimators have used since PR 2.
+// A replication is fully described by (layout params, layout seed,
+// experiment knobs, the four node IDs, sim seed): the worker
+// regenerates the building bit-identically from that identity and
+// replays the combo. Replications are deterministic (one "sample",
+// zero variance), so:
+//
+//   - locally, RunExperiment fans combos out over a Workers()-bounded
+//     pool and assembles results in combo order — bit-identical at any
+//     `-parallel` width;
+//   - under `cs run -workers`, combos travel to the fleet like any
+//     other shard job;
+//   - under `cs run -cache`, each replication is one cache entry keyed
+//     by its full identity, so repeated testbed runs are free.
+//
+// The request pins Sampler to plain regardless of the run's `-sampler`
+// choice: variance-reduction strategies transform random draws, which
+// is meaningful for Monte Carlo integrands but would silently change a
+// deterministic replay's trajectory (and its cache identity) without
+// reducing any variance.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"carriersense/internal/capacity"
+	"carriersense/internal/montecarlo"
+	"carriersense/internal/phy"
+	"carriersense/internal/rng"
+	"carriersense/internal/sim"
+)
+
+// KernelCombo is the registered name of the two-pair replication
+// kernel.
+const KernelCombo = "testbed/combo"
+
+// Indices into the combo kernel's component vector: the ComboResult
+// fields, links excluded (the scheduler knows which combo it asked
+// for).
+const (
+	idxComboRSSI = iota
+	idxComboMux
+	idxComboConc
+	idxComboCS
+	idxComboMuxBase
+	idxComboConcBase
+	idxComboCSBase
+	idxComboCSDelivery
+	nComboIdx
+)
+
+// comboWire is the serializable identity of one replication. It
+// carries only the inputs the replication depends on — MaxCombos and
+// the combo-selection seed of ExperimentParams deliberately stay out,
+// so the same combo measured under differently sized experiments hits
+// the same cache entry.
+type comboWire struct {
+	Layout          LayoutParams       `json:"layout"`
+	LayoutSeed      uint64             `json:"layout_seed"`
+	Duration        sim.Time           `json:"duration"`
+	FrameBytes      int                `json:"frame_bytes"`
+	Rates           capacity.RateTable `json:"rates"`
+	CCAThresholdDBm float64            `json:"cca_threshold_dbm"`
+	EnergyOnlyCCA   bool               `json:"energy_only_cca,omitempty"`
+	Src1            phy.NodeID         `json:"src1"`
+	Dst1            phy.NodeID         `json:"dst1"`
+	Src2            phy.NodeID         `json:"src2"`
+	Dst2            phy.NodeID         `json:"dst2"`
+	SimSeed         uint64             `json:"sim_seed"`
+}
+
+// experimentParams reconstructs the per-replication experiment knobs.
+func (w comboWire) experimentParams() ExperimentParams {
+	return ExperimentParams{
+		Duration:        w.Duration,
+		FrameBytes:      w.FrameBytes,
+		Rates:           w.Rates,
+		CCAThresholdDBm: w.CCAThresholdDBm,
+		EnergyOnlyCCA:   w.EnergyOnlyCCA,
+	}
+}
+
+func init() {
+	montecarlo.RegisterKernel(KernelCombo, func(raw json.RawMessage) (montecarlo.EvalFunc, error) {
+		var w comboWire
+		if err := json.Unmarshal(raw, &w); err != nil {
+			return nil, err
+		}
+		if w.Layout.Nodes < 2 {
+			return nil, fmt.Errorf("testbed: combo kernel needs a layout with >= 2 nodes, got %d", w.Layout.Nodes)
+		}
+		if len(w.Rates) == 0 {
+			return nil, fmt.Errorf("testbed: combo kernel needs a non-empty rate table")
+		}
+		if w.Duration <= 0 {
+			return nil, fmt.Errorf("testbed: combo kernel needs a positive duration, got %d", w.Duration)
+		}
+		for _, id := range []phy.NodeID{w.Src1, w.Dst1, w.Src2, w.Dst2} {
+			if id < 0 || int(id) >= w.Layout.Nodes {
+				return nil, fmt.Errorf("testbed: combo node %d outside layout of %d nodes", id, w.Layout.Nodes)
+			}
+		}
+		p := w.experimentParams()
+		// The replication is deterministic: its randomness comes from
+		// SimSeed in the identity, not from the shard stream.
+		return func(_ *rng.Source, out []float64) {
+			tb := memoTestbed(w.Layout, w.LayoutSeed)
+			res := runCombo(tb, p, Link{Src: w.Src1, Dst: w.Dst1}, Link{Src: w.Src2, Dst: w.Dst2}, w.SimSeed)
+			out[idxComboRSSI] = res.SenderRSSIdB
+			out[idxComboMux] = res.Mux
+			out[idxComboConc] = res.Conc
+			out[idxComboCS] = res.CS
+			out[idxComboMuxBase] = res.MuxBase
+			out[idxComboConcBase] = res.ConcBase
+			out[idxComboCSBase] = res.CSBase
+			out[idxComboCSDelivery] = res.CSDelivery
+		}, nil
+	})
+}
+
+// tbMemoKey is a testbed realization's identity. LayoutParams is a
+// flat struct of scalars, so the key is comparable.
+type tbMemoKey struct {
+	layout LayoutParams
+	seed   uint64
+}
+
+// tbMemo caches recent realizations so the combos of one experiment —
+// evaluated as independent kernel requests, possibly on different
+// goroutines or worker processes — regenerate the building once, not
+// once per combo. Testbeds are immutable after Generate, so sharing is
+// safe.
+var tbMemo struct {
+	sync.Mutex
+	entries map[tbMemoKey]*Testbed
+}
+
+// tbMemoMax bounds the memo: an experiment touches one realization, a
+// grid sweep a handful. Evicting everything on overflow is crude but
+// regeneration is cheap next to a single replication.
+const tbMemoMax = 8
+
+func memoTestbed(p LayoutParams, seed uint64) *Testbed {
+	key := tbMemoKey{layout: p, seed: seed}
+	tbMemo.Lock()
+	tb := tbMemo.entries[key]
+	tbMemo.Unlock()
+	if tb != nil {
+		return tb
+	}
+	tb = Generate(p, seed)
+	memoPut(tb)
+	return tb
+}
+
+// memoPut seeds the memo with a realization the caller already has.
+func memoPut(tb *Testbed) {
+	if !tb.generated {
+		return
+	}
+	key := tbMemoKey{layout: tb.Params, seed: tb.seed}
+	tbMemo.Lock()
+	if tbMemo.entries == nil {
+		tbMemo.entries = make(map[tbMemoKey]*Testbed)
+	}
+	if len(tbMemo.entries) >= tbMemoMax {
+		clear(tbMemo.entries)
+	}
+	tbMemo.entries[key] = tb
+	tbMemo.Unlock()
+}
+
+// comboRequest builds the serializable estimation request for one
+// replication.
+func comboRequest(tb *Testbed, p ExperimentParams, l1, l2 Link, seed uint64) montecarlo.Request {
+	w := comboWire{
+		Layout:          tb.Params,
+		LayoutSeed:      tb.seed,
+		Duration:        p.Duration,
+		FrameBytes:      p.FrameBytes,
+		Rates:           p.Rates,
+		CCAThresholdDBm: p.CCAThresholdDBm,
+		EnergyOnlyCCA:   p.EnergyOnlyCCA,
+		Src1:            l1.Src,
+		Dst1:            l1.Dst,
+		Src2:            l2.Src,
+		Dst2:            l2.Dst,
+		SimSeed:         seed,
+	}
+	raw, err := json.Marshal(w)
+	if err != nil {
+		panic(&montecarlo.ExecError{Kernel: KernelCombo, Err: fmt.Errorf("marshal combo params: %w", err)})
+	}
+	// Sampler stays "" — the canonical plain identity. An empty name
+	// resolves to the plain strategy at evaluation regardless of the
+	// run's -sampler default (Request.Sampler, not the process default,
+	// is what the shard evaluator honors), so the replication is pinned
+	// to raw replay under any sampler choice.
+	return montecarlo.Request{
+		Kernel:  KernelCombo,
+		Params:  raw,
+		Seed:    seed,
+		Samples: 1,
+		Dim:     nComboIdx,
+	}
+}
+
+// comboFromAccs decodes a replication's accumulator vector. Each
+// component holds exactly one Welford observation, so Mean is the
+// recorded value bit-for-bit.
+func comboFromAccs(l1, l2 Link, accs []montecarlo.Accumulator) ComboResult {
+	return ComboResult{
+		Link1:        l1,
+		Link2:        l2,
+		SenderRSSIdB: accs[idxComboRSSI].Estimate().Mean,
+		Mux:          accs[idxComboMux].Estimate().Mean,
+		Conc:         accs[idxComboConc].Estimate().Mean,
+		CS:           accs[idxComboCS].Estimate().Mean,
+		MuxBase:      accs[idxComboMuxBase].Estimate().Mean,
+		ConcBase:     accs[idxComboConcBase].Estimate().Mean,
+		CSBase:       accs[idxComboCSBase].Estimate().Mean,
+		CSDelivery:   accs[idxComboCSDelivery].Estimate().Mean,
+	}
+}
+
+// runCombos measures every combo through the installed executor with a
+// Workers()-bounded local fan-out. Results are assembled in combo
+// order, so the outcome is bit-identical at any pool width, on any
+// executor honoring the accumulator contract. Testbeds without a
+// recorded seed (hand-built, not Generate'd) have no serializable
+// identity and fall back to the in-process serial path, which computes
+// the identical results.
+func runCombos(tb *Testbed, p ExperimentParams, combos [][2]Link, seeds []uint64) []ComboResult {
+	out := make([]ComboResult, len(combos))
+	if !tb.generated {
+		for i, c := range combos {
+			out[i] = runCombo(tb, p, c[0], c[1], seeds[i])
+		}
+		return out
+	}
+	memoPut(tb) // in-process kernel evaluations reuse this realization
+	exec := montecarlo.CurrentExecutor()
+	reqs := make([]montecarlo.Request, len(combos))
+	for i, c := range combos {
+		reqs[i] = comboRequest(tb, p, c[0], c[1], seeds[i])
+	}
+	errs := make([]error, len(combos))
+	workers := montecarlo.Workers()
+	if workers > len(combos) {
+		workers = len(combos)
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(combos) {
+				return
+			}
+			accs, err := exec.EstimateVec(context.Background(), reqs[i])
+			if err == nil && len(accs) != nComboIdx {
+				err = fmt.Errorf("executor returned %d components, want %d", len(accs), nComboIdx)
+			}
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			out[i] = comboFromAccs(combos[i][0], combos[i][1], accs)
+		}
+	}
+	if workers <= 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			panic(&montecarlo.ExecError{Kernel: KernelCombo, Err: err})
+		}
+	}
+	return out
+}

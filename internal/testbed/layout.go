@@ -114,18 +114,28 @@ type Testbed struct {
 	// gainDB[i][j] is the channel gain in dB from node i to node j
 	// (symmetric: shadowing is a property of the path).
 	gainDB [][]float64
+	// gainLin[i][j] is 10^(gainDB[i][j]/10), precomputed so the packet
+	// simulator's per-frame power queries never convert dB
+	// (phy.LinearChannel).
+	gainLin [][]float64
 	// noiseOffsetDB[i] is node i's receiver noise floor deviation.
 	noiseOffsetDB []float64
 	// outageProb[i][j] is the per-link deep-fade probability
 	// (symmetric).
 	outageProb [][]float64
+	// seed is the Generate seed; together with Params it is the
+	// realization's serializable identity — what lets a two-pair
+	// replication travel to a worker process as a sim kernel and be
+	// rebuilt there bit-identically (see kernel.go).
+	seed      uint64
+	generated bool
 }
 
 // Generate creates a testbed realization from the given seed. The same
 // (params, seed) always yields the same building.
 func Generate(p LayoutParams, seed uint64) *Testbed {
 	src := rng.New(seed)
-	tb := &Testbed{Params: p}
+	tb := &Testbed{Params: p, seed: seed, generated: true}
 	tb.Nodes = make([]Node, p.Nodes)
 	for i := range tb.Nodes {
 		tb.Nodes[i] = Node{
@@ -155,6 +165,17 @@ func Generate(p LayoutParams, seed uint64) *Testbed {
 			g := tb.medianGainDB(i, j) + shadow
 			tb.gainDB[i][j] = g
 			tb.gainDB[j][i] = g
+		}
+	}
+	tb.gainLin = make([][]float64, p.Nodes)
+	for i := range tb.gainLin {
+		tb.gainLin[i] = make([]float64, p.Nodes)
+		for j := range tb.gainLin[i] {
+			if i == j {
+				tb.gainLin[i][j] = 1
+				continue
+			}
+			tb.gainLin[i][j] = phy.DBToLin(tb.gainDB[i][j])
 		}
 	}
 	tb.noiseOffsetDB = make([]float64, p.Nodes)
@@ -213,6 +234,22 @@ func (tb *Testbed) GainDB(from, to phy.NodeID) float64 {
 		return 0
 	}
 	return tb.gainDB[from][to]
+}
+
+// GainLin implements phy.LinearChannel: the precomputed linear power
+// gain 10^(GainDB/10).
+func (tb *Testbed) GainLin(from, to phy.NodeID) float64 {
+	if from == to {
+		return 1
+	}
+	return tb.gainLin[from][to]
+}
+
+// Seed returns the Generate seed and whether the testbed carries one
+// (a zero-value Testbed does not). (Params, Seed) is the realization's
+// full identity: Generate(Params, Seed) rebuilds it bit-identically.
+func (tb *Testbed) Seed() (uint64, bool) {
+	return tb.seed, tb.generated
 }
 
 // OutageProbability implements phy.OutageChannel.

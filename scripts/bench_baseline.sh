@@ -44,6 +44,38 @@ END {
     printf "  ],\n"
 }' "$raw" > "$bench_json"
 
+# Simulator lane: the packet-level hot path's headline numbers, pulled
+# from the bench run above — raw event throughput (events/sec and
+# allocations per event from the self-rescheduling workload), the cost
+# of one simulated second of a saturated two-pair scenario, and the
+# heaviest sim-bound benchmark (the preamble-vs-energy CCA ablation).
+# The tenfold-alloc-reduction and 4x wall-clock targets of the hot-path
+# overhaul are tracked here run-over-run.
+bench_metric() { # <bench name> <unit> -> value ("null" if absent)
+    awk -v b="$1" -v u="$2" '
+        $1 ~ "^"b"(-[0-9]+)?$" {
+            for (i = 3; i < NF; i += 2) if ($(i + 1) == u) { print $i; exit }
+        }' "$raw" | grep . || echo null
+}
+events_per_sec=$(bench_metric BenchmarkSimulatorEventThroughput "events/sec")
+event_allocs=$(bench_metric BenchmarkSimulatorEventThroughput "allocs/op")
+event_ns=$(bench_metric BenchmarkSimulatorEventThroughput "ns/op")
+# events/op = events/sec × seconds/op, so the event count never needs
+# hard-coding here even if the benchmark's workload size changes.
+allocs_per_event=$(awk -v a="$event_allocs" -v eps="$events_per_sec" -v ns="$event_ns" \
+    'BEGIN{ if (a == "null" || eps == "null" || ns == "null") print "null"; else printf "%.6f", a/(eps*ns/1e9) }')
+pkt_ns=$(bench_metric BenchmarkPacketSimSecond "ns/op")
+pkt_allocs=$(bench_metric BenchmarkPacketSimSecond "allocs/op")
+abl_ns=$(bench_metric BenchmarkAblationPreambleVsEnergyCCA "ns/op")
+echo "sim lane: $events_per_sec events/sec, $allocs_per_event allocs/event, packet-sim second ${pkt_ns}ns"
+sim_json="  \"sim\": {\n"
+sim_json+="    \"events_per_sec\": $events_per_sec,\n"
+sim_json+="    \"allocs_per_event\": $allocs_per_event,\n"
+sim_json+="    \"packet_sim_second_ns\": $pkt_ns,\n"
+sim_json+="    \"packet_sim_second_allocs\": $pkt_allocs,\n"
+sim_json+="    \"ablation_preamble_vs_energy_ns\": $abl_ns\n"
+sim_json+="  },\n"
+
 # Samples-to-target lane: every sampler strategy drives the same
 # scenarios to the same relative-error target through the adaptive
 # convergence driver (`-relerr`); the sampling_spent metric in each
@@ -90,6 +122,7 @@ sampling_json+="    ]\n  }\n"
     printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
     printf '  "bench": "go test -short -run ^$ -bench . -benchtime 1x -benchmem .",\n'
     cat "$bench_json"
+    printf '%b' "$sim_json"
     printf '%b' "$sampling_json"
     printf '}\n'
 } > "$out"
