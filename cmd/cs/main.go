@@ -26,9 +26,11 @@ import (
 	"io"
 	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"carriersense/internal/cache"
@@ -103,9 +105,22 @@ run/all flags:
   -workers LIST  distribute Monte Carlo shards over cs serve workers
                  (comma-separated host:port list); results are
                  bit-identical to a local run at any fleet size
+  -wire MODE     shard transport with -workers: auto (default: binary
+                 streams, per-worker JSON fallback for old workers),
+                 json (force the HTTP/JSON wire), or binary (require
+                 the stream; workers that lack it are abandoned)
+  -shard-timeout D
+                 with -workers: re-dispatch a shard batch unanswered
+                 for D (e.g. 30s) to another worker; 0 (default) lets
+                 batches run as long as their kernels do
   -cache         serve repeated kernel estimations from the result
                  cache (bit-identical to evaluating); persists across
                  runs under the cache directory
+  -prefetch      with -cache: dry-run the scenario first, then batch-
+                 evaluate every predicted cache miss before the real
+                 run, so the run itself is all hits (pairs best with
+                 -workers: the fleet streams the whole miss ledger
+                 back to back)
   -cache-dir DIR persistent cache location (default: the user cache
                  dir, e.g. ~/.cache/carriersense)
   -cache-max-bytes B
@@ -147,6 +162,7 @@ type runConfig struct {
 	opts       engine.Options
 	cache      *cache.Executor // non-nil when -cache is set
 	cacheDir   string          // resolved persistent cache directory (when -cache)
+	prefetch   bool            // -prefetch: warm the cache from the plan first
 	cpuProfile string
 	memProfile string
 }
@@ -166,7 +182,10 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 	fs.Float64Var(&opts.RelErr, "relerr", 0, "grow per-point budgets until this relative standard error is met")
 	fs.IntVar(&opts.MaxSamples, "max-samples", 0, "per-point budget cap for -relerr (0 = the scenario's own budget)")
 	workers := fs.String("workers", "", "distribute shards over cs serve workers (host:port,host:port,...)")
+	wire := fs.String("wire", "auto", "shard transport with -workers: auto, json, or binary")
+	shardTimeout := fs.Duration("shard-timeout", 0, "re-dispatch a shard batch unanswered for this long (0 = no deadline)")
 	useCache := fs.Bool("cache", false, "serve repeated kernel estimations from the persistent result cache")
+	prefetch := fs.Bool("prefetch", false, "with -cache: evaluate every predicted cache miss before the real run")
 	cacheDir := fs.String("cache-dir", "", "persistent cache directory (default: user cache dir)")
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "evict least-recently-used persistent entries beyond this size (0 = unbounded)")
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
@@ -187,16 +206,29 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 		if opts.Parallel < 0 {
 			return cfg, fmt.Errorf("-parallel must be >= 1 (or 0 for the GOMAXPROCS default), got %d", opts.Parallel)
 		}
+		wireMode, err := dist.ParseWire(*wire)
+		if err != nil {
+			return cfg, err
+		}
+		if *shardTimeout < 0 {
+			return cfg, fmt.Errorf("-shard-timeout must be >= 0, got %v", *shardTimeout)
+		}
 		if *workers != "" {
 			hosts, err := dist.ParseWorkerList(*workers)
 			if err != nil {
 				return cfg, err
 			}
-			remote, err := dist.NewRemote(hosts)
+			remote, err := dist.NewRemote(hosts, dist.RemoteOptions{
+				Wire: wireMode, ShardTimeout: *shardTimeout,
+			})
 			if err != nil {
 				return cfg, err
 			}
 			opts.Executor = remote
+		} else if wireMode != dist.WireAuto {
+			return cfg, fmt.Errorf("-wire requires -workers")
+		} else if *shardTimeout != 0 {
+			return cfg, fmt.Errorf("-shard-timeout requires -workers")
 		}
 		if err := sampling.Validate(opts.Sampler); err != nil {
 			return cfg, err
@@ -213,6 +245,18 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 			return cfg, fmt.Errorf("-cache-dir requires -cache")
 		} else if *cacheMaxBytes != 0 {
 			return cfg, fmt.Errorf("-cache-max-bytes requires -cache")
+		}
+		if *prefetch {
+			if cfg.cache == nil {
+				return cfg, fmt.Errorf("-prefetch requires -cache")
+			}
+			if opts.RelErr > 0 {
+				// The planner cannot predict convergence rounds (its
+				// placeholder estimates have zero variance structure), so
+				// a -relerr prefetch would fetch the wrong miss set.
+				return cfg, fmt.Errorf("-prefetch cannot predict -relerr convergence rounds; prefetch without -relerr")
+			}
+			cfg.prefetch = true
 		}
 		return cfg, nil
 	}
@@ -356,10 +400,60 @@ func cmdRun(args []string) error {
 	if *plan {
 		return planRun(cfg, name)
 	}
+	if cfg.prefetch {
+		if name == "sampling" {
+			return fmt.Errorf("the sampling scenario drives its own local executor and is never cache-routed; nothing to prefetch")
+		}
+		if err := prefetchScenarios(cfg, []string{name}); err != nil {
+			return err
+		}
+	}
 	return runAndReport(cfg, func() error {
 		_, err := engine.Run(context.Background(), name, cfg.opts)
 		return err
 	})
+}
+
+// prefetchScenarios is the -cache -prefetch pass: dry-run the named
+// scenarios against the cache planner, then batch-evaluate every
+// predicted miss through the caching executor (and therefore through
+// -workers, when set) so the real run that follows is all cache hits.
+// Diagnostics go to stderr; a prefetch failure is a warning, not a
+// run-stopper — the real run evaluates whatever is still missing.
+func prefetchScenarios(cfg runConfig, names []string) error {
+	planner := cache.NewPlanner(cfg.cacheDir)
+	opts := cfg.opts
+	opts.Executor = planner
+	opts.Stdout = nil // the dry run must not impersonate the real report
+	opts.OutDir = ""
+	var misses []montecarlo.Request
+	for _, name := range names {
+		planner.Reset()
+		if err := planScenario(name, opts); err != nil {
+			// A scenario choking on placeholder estimates still yields a
+			// partial miss ledger; prefetch what was predicted.
+			fmt.Fprintf(os.Stderr, "prefetch: plan for %s incomplete (%v); fetching what was predicted\n", name, err)
+		}
+		misses = append(misses, planner.Misses()...)
+	}
+	if len(misses) == 0 {
+		fmt.Fprintln(os.Stderr, "prefetch: cache already warm; nothing to fetch")
+		return nil
+	}
+	start := time.Now()
+	rep, err := cache.Prefetch(context.Background(), cfg.cache, misses)
+	if err != nil {
+		if rep.Fetched == 0 && rep.Skipped == 0 {
+			// Nothing warmed at all — the run would hit the same wall
+			// (dead fleet, bad kernel); fail now with the real cause.
+			return fmt.Errorf("prefetch: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "prefetch: %d of %d fetches failed (%v); the run will evaluate them\n",
+			rep.Failed, rep.Planned, err)
+	}
+	fmt.Fprintf(os.Stderr, "prefetch: %d predicted misses, %d fetched (%d samples), %d already present in %s\n",
+		rep.Planned, rep.Fetched, rep.Samples, rep.Skipped, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // planRun is `cs run <scenario> -cache -plan`: replay one scenario —
@@ -560,17 +654,28 @@ func cmdServe(args []string) error {
 			return err
 		}
 	}
+	// SIGINT/SIGTERM drain rather than kill: in-flight shard batches
+	// (JSON and stream alike) finish and deliver, streams close with a
+	// goodbye frame so coordinators re-dispatch cleanly, then Serve
+	// returns nil. A second signal falls through to the default
+	// handler and kills the process the old way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	ready := make(chan net.Addr, 1)
 	errc := make(chan error, 1)
-	go func() { errc <- dist.ListenAndServe(*listen, ready) }()
+	go func() { errc <- dist.Serve(ctx, *listen, ready) }()
 	select {
 	case addr := <-ready:
-		fmt.Fprintf(os.Stderr, "cs worker listening on %s (%d kernels; endpoints %s %s %s)\n",
-			addr, len(montecarlo.KernelNames()), dist.PathShards, dist.PathHealthz, dist.PathStats)
+		fmt.Fprintf(os.Stderr, "cs worker listening on %s (%d kernels; endpoints %s %s %s %s)\n",
+			addr, len(montecarlo.KernelNames()), dist.PathShards, dist.PathStream, dist.PathHealthz, dist.PathStats)
 	case err := <-errc:
 		return err
 	}
-	return <-errc
+	err := <-errc
+	if err == nil && ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "cs worker drained in-flight shard batches and stopped")
+	}
+	return err
 }
 
 func cmdAll(args []string) error {
@@ -596,6 +701,20 @@ func cmdAll(args []string) error {
 			return fmt.Errorf("-plan cannot predict -relerr convergence rounds; plan without -relerr")
 		}
 		return planAll(cfg)
+	}
+	if cfg.prefetch {
+		var names []string
+		for _, sc := range engine.Scenarios() {
+			// report re-runs the catalog; sampling drives its own local
+			// executor and never routes through the cache.
+			if sc.Name == "report" || sc.Name == "sampling" {
+				continue
+			}
+			names = append(names, sc.Name)
+		}
+		if err := prefetchScenarios(cfg, names); err != nil {
+			return err
+		}
 	}
 	return runAndReport(cfg, func() error {
 		for _, sc := range engine.Scenarios() {

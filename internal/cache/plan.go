@@ -48,6 +48,7 @@ type Planner struct {
 
 	mu      sync.Mutex
 	entries []PlanEntry
+	misses  []montecarlo.Request
 }
 
 // NewPlanner builds a dry-run executor over a persistent cache
@@ -67,6 +68,12 @@ func (p *Planner) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mo
 	p.mu.Lock()
 	entry.Cached = hit
 	p.entries = append(p.entries, entry)
+	if !hit {
+		// Keep the full request, not just the ledger line: the misses
+		// are exactly what a prefetch pass must evaluate to make the
+		// real run all-hits.
+		p.misses = append(p.misses, req)
+	}
 	p.mu.Unlock()
 	if hit {
 		return fromStates(states), nil
@@ -87,11 +94,20 @@ func (p *Planner) Entries() []PlanEntry {
 	return append([]PlanEntry(nil), p.entries...)
 }
 
+// Misses returns the requests the planned run would have to evaluate,
+// in request order, duplicates included (Prefetch dedupes by key).
+func (p *Planner) Misses() []montecarlo.Request {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]montecarlo.Request(nil), p.misses...)
+}
+
 // Reset clears the ledger (between scenarios, so per-scenario
 // summaries don't bleed into each other).
 func (p *Planner) Reset() {
 	p.mu.Lock()
 	p.entries = p.entries[:0]
+	p.misses = p.misses[:0]
 	p.mu.Unlock()
 }
 

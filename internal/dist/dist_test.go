@@ -129,8 +129,11 @@ func TestFailoverWorkerKilledMidRun(t *testing.T) {
 	flakySrv := httptest.NewServer(flaky)
 	defer flakySrv.Close()
 	hosts := append(startWorkers(t, 1), strings.TrimPrefix(flakySrv.URL, "http://"))
+	// flakyWorker counts and aborts JSON shard POSTs; pin the wire so
+	// the death path is what this test exercises (stream_test.go covers
+	// mid-run death on the binary wire).
 	remote, err := dist.NewRemote(hosts, dist.RemoteOptions{
-		BatchSize: 1, Concurrency: 1, HostFailLimit: 2,
+		BatchSize: 1, Concurrency: 1, HostFailLimit: 2, Wire: dist.WireJSON,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -185,7 +188,7 @@ func TestDeadWorkerStaysAbandonedAcrossEstimations(t *testing.T) {
 	defer flakySrv.Close()
 	hosts := append(startWorkers(t, 1), strings.TrimPrefix(flakySrv.URL, "http://"))
 	remote, err := dist.NewRemote(hosts, dist.RemoteOptions{
-		BatchSize: 1, Concurrency: 1, HostFailLimit: 2,
+		BatchSize: 1, Concurrency: 1, HostFailLimit: 2, Wire: dist.WireJSON,
 	})
 	if err != nil {
 		t.Fatal(err)

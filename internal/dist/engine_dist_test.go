@@ -95,8 +95,10 @@ func TestEngineRunSurvivesWorkerDeathMidRun(t *testing.T) {
 	flakySrv := httptest.NewServer(flaky)
 	defer flakySrv.Close()
 	hosts := append(startWorkers(t, 1), strings.TrimPrefix(flakySrv.URL, "http://"))
+	// flakyWorker aborts JSON shard POSTs; pin the wire so the death
+	// path fires (binary-wire death is covered in stream_test.go).
 	remote, err := dist.NewRemote(hosts, dist.RemoteOptions{
-		BatchSize: 1, Concurrency: 1, HostFailLimit: 2,
+		BatchSize: 1, Concurrency: 1, HostFailLimit: 2, Wire: dist.WireJSON,
 	})
 	if err != nil {
 		t.Fatal(err)

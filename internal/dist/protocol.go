@@ -1,10 +1,13 @@
 package dist
 
-// The wire protocol between coordinator and workers: plain HTTP/JSON,
-// one POST per shard batch. Accumulator states travel as IEEE-754 bit
-// patterns (montecarlo.AccumulatorState), so a state that crosses the
-// wire is the state that was computed — no printf rounding anywhere in
-// the distributed merge.
+// The JSON wire protocol between coordinator and workers: plain
+// HTTP/JSON, one POST per shard batch. It is the fallback wire — the
+// coordinator prefers the binary frame stream (frame.go, stream.go)
+// and negotiates down to this per worker when the upgrade is refused.
+// On both wires, accumulator states travel as IEEE-754 bit patterns
+// (montecarlo.AccumulatorState), so a state that crosses the wire is
+// the state that was computed — no printf rounding anywhere in the
+// distributed merge.
 
 import (
 	"fmt"
@@ -52,19 +55,25 @@ func (j ShardJob) Validate() error {
 	if err := j.Request.Validate(); err != nil {
 		return err
 	}
-	if len(j.Indices) == 0 {
+	return validateIndices(j.Indices, j.FirstShard, montecarlo.ShardCount(j.Samples))
+}
+
+// validateIndices checks a shard batch for range and duplicates on the
+// worker hot path. Dup detection is a bitset sized by the shard count
+// — one word per 64 shards instead of a map allocation per batch.
+func validateIndices(indices []int, first, count int) error {
+	if len(indices) == 0 {
 		return fmt.Errorf("dist: shard job has no indices")
 	}
-	count := montecarlo.ShardCount(j.Samples)
-	seen := make(map[int]bool, len(j.Indices))
-	for _, idx := range j.Indices {
-		if idx < j.FirstShard || idx >= count {
-			return fmt.Errorf("dist: shard index %d out of range [%d,%d)", idx, j.FirstShard, count)
+	seen := make([]uint64, (count+63)/64)
+	for _, idx := range indices {
+		if idx < first || idx >= count {
+			return fmt.Errorf("dist: shard index %d out of range [%d,%d)", idx, first, count)
 		}
-		if seen[idx] {
+		if seen[idx/64]&(1<<(idx%64)) != 0 {
 			return fmt.Errorf("dist: duplicate shard index %d", idx)
 		}
-		seen[idx] = true
+		seen[idx/64] |= 1 << (idx % 64)
 	}
 	return nil
 }
@@ -85,12 +94,16 @@ type ShardResponse struct {
 	Results []ShardResult `json:"results"`
 }
 
-// Stats is the /stats payload.
+// Stats is the /stats payload. Requests counts JSON shard POSTs plus
+// binary stream batches; Streams and StreamBatches break out the
+// binary wire's share.
 type Stats struct {
 	UptimeSeconds float64  `json:"uptime_seconds"`
 	Requests      int64    `json:"requests"`
 	Shards        int64    `json:"shards"`
 	Samples       int64    `json:"samples"`
 	Failures      int64    `json:"failures"`
+	Streams       int64    `json:"streams"`
+	StreamBatches int64    `json:"stream_batches"`
 	Kernels       []string `json:"kernels"`
 }

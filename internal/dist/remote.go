@@ -7,6 +7,16 @@ package dist
 // the queue for the survivors. None of this affects results: shard
 // accumulators are stored by index and merged in shard order once
 // every shard has been evaluated somewhere.
+//
+// Transport is negotiated per worker. The preferred wire is the
+// binary shard stream (frame.go/stream.go): one persistent upgraded
+// connection per worker carrying the estimation identity once and
+// then pipelined batch/result frames, so the worker always has the
+// next batch in its socket buffer while evaluating the current one
+// and never starves on a round trip. A worker that refuses the
+// upgrade — an older binary — is served over the original HTTP/JSON
+// wire instead, per connection, so a mixed fleet degrades instead of
+// failing.
 
 import (
 	"bytes"
@@ -28,36 +38,95 @@ import (
 // Remote tuning defaults.
 const (
 	// DefaultBatchSize is the number of shards per worker request —
-	// large enough to amortize the HTTP round trip (a shard is 4096
-	// samples), small enough that failover loses little work.
+	// large enough to amortize the per-batch round trip (a shard is
+	// 4096 samples), small enough that failover loses little work.
 	DefaultBatchSize = 8
-	// DefaultConcurrency is the number of in-flight requests per
-	// worker, covering request latency while the worker computes.
+	// DefaultConcurrency is the pipeline depth per worker: in-flight
+	// requests on the JSON wire, unanswered batch frames on the binary
+	// stream. Either way it covers transport latency while the worker
+	// computes.
 	DefaultConcurrency = 2
 	// DefaultHostFailLimit is the number of consecutive transport
 	// failures after which a worker is declared dead and abandoned.
 	DefaultHostFailLimit = 3
+	// maxIdleStreams bounds the per-worker pool of idle binary
+	// streams kept across estimations.
+	maxIdleStreams = 4
+	// dialTimeout bounds connection establishment to a worker; dead
+	// hosts are detected here, never by capping how long a legitimate
+	// shard batch may compute.
+	dialTimeout = 10 * time.Second
 )
+
+// Wire selects the shard transport.
+type Wire int
+
+const (
+	// WireAuto (the default) uses the binary stream with workers that
+	// speak it and falls back to HTTP/JSON per worker otherwise.
+	WireAuto Wire = iota
+	// WireJSON forces the HTTP/JSON wire for every worker.
+	WireJSON
+	// WireBinary requires the binary stream: a worker that cannot
+	// speak it is abandoned instead of negotiated down.
+	WireBinary
+)
+
+// String implements fmt.Stringer (the -wire flag values).
+func (w Wire) String() string {
+	switch w {
+	case WireJSON:
+		return "json"
+	case WireBinary:
+		return "binary"
+	}
+	return "auto"
+}
+
+// ParseWire parses a -wire flag value.
+func ParseWire(s string) (Wire, error) {
+	switch s {
+	case "", "auto":
+		return WireAuto, nil
+	case "json":
+		return WireJSON, nil
+	case "binary":
+		return WireBinary, nil
+	}
+	return 0, fmt.Errorf("dist: unknown wire %q (want auto, json, or binary)", s)
+}
 
 // RemoteOptions tune a Remote executor. The zero value of every field
 // selects a default.
 type RemoteOptions struct {
-	Client    *http.Client // transport; nil builds one with sane timeouts
+	Client    *http.Client // JSON transport; nil builds one with sane timeouts
 	BatchSize int          // shards per request (default DefaultBatchSize)
 	// MaxAttempts is the per-shard attempt budget across the whole
 	// fleet before the run fails. 0 scales with the fleet:
 	// (HostFailLimit+Concurrency)·workers + 1, so a shard can survive
 	// every worker dying around it and still get a clean attempt.
 	MaxAttempts   int
-	Concurrency   int // in-flight requests per worker (default DefaultConcurrency)
-	HostFailLimit int // consecutive failures before a worker is dead (default DefaultHostFailLimit)
+	Concurrency   int  // pipeline depth per worker (default DefaultConcurrency)
+	HostFailLimit int  // consecutive failures before a worker is dead (default DefaultHostFailLimit)
+	Wire          Wire // transport selection (default WireAuto)
+	// ShardTimeout, when > 0, bounds how long a dispatched shard batch
+	// may stay unanswered before it is re-dispatched to another worker
+	// (the original worker is charged a transport failure). 0 leaves
+	// batches un-deadlined: a batch legitimately takes as long as its
+	// kernel does, and `-scale full` sim replications run for tens of
+	// seconds. Set it generously on fleets where a wedged worker must
+	// not stall a run — re-dispatch cannot corrupt results, because
+	// duplicate shard completions merge idempotently (first one wins).
+	ShardTimeout time.Duration
 }
 
 // Remote is an Executor that distributes shard evaluation over a fleet
-// of `cs serve` workers. Safe for concurrent use. Worker health
-// persists across estimations: a worker declared dead stays abandoned
-// for the Remote's lifetime (one `cs run`), so a scenario with many
-// estimation points pays the detection cost once, not per point.
+// of `cs serve` workers. Safe for concurrent use. Worker health and
+// negotiated wire persist across estimations: a worker declared dead
+// stays abandoned for the Remote's lifetime (one `cs run`), and a
+// worker that negotiated down to JSON is not re-probed per
+// estimation. Binary streams are pooled per worker, so consecutive
+// estimations reuse connections instead of re-handshaking.
 type Remote struct {
 	hosts []*hostState
 	opt   RemoteOptions
@@ -90,10 +159,11 @@ func NewRemote(hosts []string, opts ...RemoteOptions) (*Remote, error) {
 		// as long as its kernel does (minutes at -scale full), and a
 		// deadline here would misread slow computation as worker death.
 		// Dead hosts are still detected quickly via the dial timeout,
-		// and canceling the run's context aborts in-flight requests.
+		// canceling the run's context aborts in-flight requests, and
+		// ShardTimeout (when set) re-dispatches wedged batches.
 		opt.Client = &http.Client{
 			Transport: &http.Transport{
-				DialContext: (&net.Dialer{Timeout: 10 * time.Second}).DialContext,
+				DialContext: (&net.Dialer{Timeout: dialTimeout}).DialContext,
 			},
 		}
 	}
@@ -156,7 +226,7 @@ type dispatch struct {
 	attempts  []int                      // per-shard attempt counts
 	results   [][]montecarlo.Accumulator // per-shard per-component states
 	remaining int                        // shards not yet completed
-	loops     int                        // worker goroutines still running
+	loops     int                        // host goroutines still running
 	err       error                      // first fatal error; ends the run
 }
 
@@ -199,7 +269,11 @@ func (d *dispatch) next(batch int) []int {
 	return claimed
 }
 
-// complete records evaluated shards.
+// complete records evaluated shards. Duplicate completions — a shard
+// re-dispatched after a timeout whose original worker answers late —
+// are ignored: the first evaluation wins, and both evaluations are
+// bit-identical anyway (the shard stream is a pure function of the
+// plan).
 func (d *dispatch) complete(indices []int, accs [][]montecarlo.Accumulator) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -234,7 +308,21 @@ func (d *dispatch) requeue(indices []int, maxAttempts int, cause error) {
 	d.cond.Broadcast()
 }
 
-// loopExited records a worker goroutine leaving the run, for whatever
+// unclaim returns a claimed-but-never-dispatched batch to the queue
+// without charging attempts (wire renegotiation, a reader that stopped
+// before the batch went out).
+func (d *dispatch) unclaim(indices []int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, idx := range indices {
+		if d.results[idx] == nil {
+			d.pending = append(d.pending, idx)
+		}
+	}
+	d.cond.Broadcast()
+}
+
+// loopExited records a host goroutine leaving the run, for whatever
 // reason — its host died (possibly declared dead by a concurrent
 // estimation sharing the same Remote), the queue drained, or a fatal
 // error. The run fails when the last goroutine leaves with shards
@@ -291,7 +379,7 @@ func (r *Remote) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 		return nil, fmt.Errorf("dist: all %d workers are dead", len(r.hosts))
 	}
 	count := montecarlo.ShardCount(req.Samples)
-	d := newDispatch(req.FirstShard, count, len(live)*r.opt.Concurrency)
+	d := newDispatch(req.FirstShard, count, len(live))
 
 	// Cancel in-flight requests the moment the run completes or fails.
 	ctx, cancel := context.WithCancel(ctx)
@@ -302,17 +390,21 @@ func (r *Remote) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 	var wg sync.WaitGroup
 	for _, h := range live {
 		h := h
-		for c := 0; c < r.opt.Concurrency; c++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				r.workerLoop(ctx, h, req, d, r.opt.MaxAttempts)
-			}()
-		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.hostLoop(ctx, h, req, d)
+		}()
 	}
 
 	err := d.wait()
-	cancel() // release any worker goroutine blocked on a slow request
+	if err != nil {
+		cancel() // release any host goroutine blocked on a slow request
+	}
+	// On success the loops drain on their own (the queue is empty), and
+	// not canceling yet lets readers park their streams in the pool —
+	// the deferred cancel must not fire until after wg.Wait, or it
+	// would race the pool release and close reusable connections.
 	wg.Wait()
 	if err != nil {
 		return nil, err
@@ -329,14 +421,76 @@ func (r *Remote) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 	return merged, nil
 }
 
-// hostState is the shared health of one worker across its concurrent
-// request loops and across estimations: death is permanent for the
-// Remote's lifetime.
+// hostState is the shared health of one worker across estimations:
+// death is permanent for the Remote's lifetime, and so is a
+// negotiated-down wire.
 type hostState struct {
 	url      string
 	mu       sync.Mutex
-	failures int  // consecutive transport failures
-	dead     bool // declared dead; all loops for this host exit
+	failures int           // consecutive transport failures
+	dead     bool          // declared dead; all loops for this host exit
+	jsonOnly bool          // negotiated down: worker refused the binary stream
+	idle     []*streamConn // pooled binary streams, reused across estimations
+}
+
+// markDead declares the host unusable and closes its pooled streams.
+func (h *hostState) markDead() {
+	h.mu.Lock()
+	h.dead = true
+	idle := h.idle
+	h.idle = nil
+	h.mu.Unlock()
+	for _, sc := range idle {
+		sc.close()
+	}
+}
+
+// countFailure charges one consecutive transport failure and reports
+// whether the host just died of them.
+func (r *Remote) countFailure(h *hostState) (dead bool) {
+	h.mu.Lock()
+	h.failures++
+	if !h.dead && h.failures >= r.opt.HostFailLimit {
+		h.mu.Unlock()
+		h.markDead()
+		return true
+	}
+	dead = h.dead
+	h.mu.Unlock()
+	return dead
+}
+
+// noteSuccess resets the consecutive-failure counter.
+func (h *hostState) noteSuccess() {
+	h.mu.Lock()
+	h.failures = 0
+	h.mu.Unlock()
+}
+
+// acquireStream pops a pooled binary stream or dials a fresh one.
+func (r *Remote) acquireStream(ctx context.Context, h *hostState) (*streamConn, error) {
+	h.mu.Lock()
+	if n := len(h.idle); n > 0 {
+		sc := h.idle[n-1]
+		h.idle = h.idle[:n-1]
+		h.mu.Unlock()
+		return sc, nil
+	}
+	h.mu.Unlock()
+	return dialStream(ctx, h.url, dialTimeout)
+}
+
+// releaseStream returns a healthy stream to the host's pool.
+func (r *Remote) releaseStream(h *hostState, sc *streamConn) {
+	sc.conn.SetReadDeadline(time.Time{})
+	h.mu.Lock()
+	if !h.dead && len(h.idle) < maxIdleStreams {
+		h.idle = append(h.idle, sc)
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	sc.close()
 }
 
 // fatalStatusError marks a worker response that retrying on the same
@@ -346,9 +500,354 @@ type fatalStatusError struct{ msg string }
 
 func (e *fatalStatusError) Error() string { return e.msg }
 
-func (r *Remote) workerLoop(ctx context.Context, h *hostState, req montecarlo.Request, d *dispatch, maxAttempts int) {
+// hostLoop drives one worker for the duration of one estimation:
+// negotiate the wire, then pump batches until the plan drains or the
+// host dies. Stream establishment happens after claiming a batch, so
+// a dead host burns shard attempts (bounded by MaxAttempts) rather
+// than spinning on dials.
+func (r *Remote) hostLoop(ctx context.Context, h *hostState, req montecarlo.Request, d *dispatch) {
 	var lastErr error
 	defer func() { d.loopExited(h.url, lastErr) }()
+	for {
+		h.mu.Lock()
+		dead, jsonOnly := h.dead, h.jsonOnly
+		h.mu.Unlock()
+		if dead {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("worker declared dead")
+			}
+			return
+		}
+		if r.opt.Wire == WireJSON || jsonOnly {
+			if err := r.jsonHostLoop(ctx, h, req, d); err != nil {
+				lastErr = err
+			}
+			return
+		}
+		batch := d.next(r.opt.BatchSize)
+		if batch == nil {
+			return
+		}
+		sc, err := r.acquireStream(ctx, h)
+		if err != nil {
+			if errors.As(err, new(*fatalStatusError)) || errors.Is(err, errNoBinary) && r.opt.Wire == WireBinary {
+				lastErr = err
+				d.requeue(batch, r.opt.MaxAttempts, fmt.Errorf("worker %s: %w", h.url, err))
+				h.markDead()
+				return
+			}
+			if errors.Is(err, errNoBinary) {
+				// Negotiate down: this worker speaks JSON only. The
+				// claimed batch goes back uncharged — nothing was
+				// dispatched.
+				h.mu.Lock()
+				h.jsonOnly = true
+				h.mu.Unlock()
+				d.unclaim(batch)
+				continue
+			}
+			lastErr = err
+			d.requeue(batch, r.opt.MaxAttempts, fmt.Errorf("worker %s: %w", h.url, err))
+			if r.countFailure(h) {
+				return
+			}
+			continue
+		}
+		err = r.runStream(ctx, h, sc, req, d, batch)
+		if err == nil {
+			return // plan drained through this stream
+		}
+		lastErr = err
+		var fatal *fatalStatusError
+		if errors.As(err, &fatal) {
+			// The worker understood the batch and rejected it (unknown
+			// kernel, version skew): abandon it, let the fleet retry.
+			h.markDead()
+			return
+		}
+		if r.countFailure(h) {
+			return
+		}
+	}
+}
+
+// streamRun is the shared state between a stream's writer goroutine
+// (claims batches, sends frames) and its reader (matches result
+// frames FIFO, completes shards). Pipelining lives here: up to
+// `window` batches may be pushed-and-sent before the first result is
+// read, so the worker's socket always holds the next batch.
+type streamRun struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	conn       net.Conn      // reader wake-up line (deadline pokes)
+	timeout    time.Duration // ShardTimeout; 0 disables deadlines
+	fifo       []streamBatch
+	writerDone bool
+	writerErr  error
+	stopped    bool // reader gave up; writer must unclaim, not send
+}
+
+type streamBatch struct {
+	indices []int
+	sent    time.Time
+}
+
+func newStreamRun(conn net.Conn, timeout time.Duration) *streamRun {
+	st := &streamRun{conn: conn, timeout: timeout}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// push waits for pipeline room and registers a batch as in-flight.
+// The registration happens before the frame is written, so a result
+// can never arrive for a batch the reader does not know about. Returns
+// false when the reader has stopped.
+func (st *streamRun) push(b []int, window int) bool {
+	st.mu.Lock()
+	for len(st.fifo) >= window && !st.stopped {
+		st.cond.Wait()
+	}
+	if st.stopped {
+		st.mu.Unlock()
+		return false
+	}
+	wasIdle := len(st.fifo) == 0
+	st.fifo = append(st.fifo, streamBatch{indices: b, sent: time.Now()})
+	st.mu.Unlock()
+	if wasIdle && st.timeout > 0 {
+		// The reader may have armed a no-deadline read while the FIFO
+		// was empty; poke it so it re-arms against this batch's
+		// ShardTimeout. A spurious wake is classified as not-expired
+		// and re-armed — cheap, and only paid on idle→busy edges.
+		_ = st.conn.SetReadDeadline(time.Now())
+	}
+	return true
+}
+
+// peek returns the oldest in-flight batch without removing it — a
+// result frame is matched against it, but the batch only leaves the
+// FIFO once the frame decodes (a corrupt frame must leave the batch
+// in flight so the abort path requeues it).
+func (st *streamRun) peek() (streamBatch, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.fifo) == 0 {
+		return streamBatch{}, false
+	}
+	return st.fifo[0], true
+}
+
+// popFront removes the oldest in-flight batch after its result frame
+// decoded cleanly.
+func (st *streamRun) popFront() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.fifo) > 0 {
+		st.fifo = st.fifo[1:]
+	}
+	st.cond.Broadcast()
+}
+
+// drainInflight empties the FIFO and stops the writer; the caller
+// requeues the returned indices.
+func (st *streamRun) drainInflight() []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var all []int
+	for _, b := range st.fifo {
+		all = append(all, b.indices...)
+	}
+	st.fifo = nil
+	st.stopped = true
+	st.cond.Broadcast()
+	return all
+}
+
+// finishWriter records the writer's exit and wakes the reader if it
+// is blocked waiting for frames that will never come.
+func (st *streamRun) finishWriter(err error, wake net.Conn) {
+	st.mu.Lock()
+	st.writerDone = true
+	st.writerErr = err
+	st.mu.Unlock()
+	// A reader blocked in a deadline-free read learns nothing from the
+	// flag alone; fire its deadline so it re-checks. The reader sets
+	// its own deadline under st.mu, so this cannot be overwritten by a
+	// stale value (see runStream's reader loop).
+	_ = wake.SetReadDeadline(time.Now())
+}
+
+// runStream pumps one estimation through one binary stream: the
+// request identity once, then pipelined batches. Returns nil when the
+// dispatch queue drained (the stream goes back to the pool), or an
+// error after requeueing everything still in flight.
+func (r *Remote) runStream(ctx context.Context, h *hostState, sc *streamConn, req montecarlo.Request, d *dispatch, first []int) error {
+	// A canceled run must not leave the reader blocked on a worker
+	// that is still computing: closing the conn is the wake-up. The
+	// AfterFunc is stopped before the stream can re-enter the pool.
+	stopWake := context.AfterFunc(ctx, func() { sc.conn.Close() })
+
+	st := newStreamRun(sc.conn, r.opt.ShardTimeout)
+	reqID, err := sc.sendRequest(req)
+	if err != nil {
+		stopWake()
+		sc.close()
+		d.unclaim(first)
+		return fmt.Errorf("worker %s: send request: %w", h.url, err)
+	}
+
+	go func() { // writer: claim → register in-flight → send
+		batch := first
+		for {
+			if !st.push(batch, r.opt.Concurrency) {
+				d.unclaim(batch) // reader stopped before this went out
+				st.finishWriter(nil, sc.conn)
+				return
+			}
+			if err := sc.sendBatch(reqID, batch); err != nil {
+				st.finishWriter(fmt.Errorf("worker %s: send batch: %w", h.url, err), sc.conn)
+				return
+			}
+			batch = d.next(r.opt.BatchSize)
+			if batch == nil {
+				st.finishWriter(nil, sc.conn)
+				return
+			}
+		}
+	}()
+
+	// abort requeues everything in flight and reports err. The writer
+	// is unblocked by drainInflight (push observes stopped) and, if
+	// mid-write, by the conn close.
+	abort := func(cause error) error {
+		inflight := st.drainInflight()
+		stopWake()
+		sc.close()
+		if len(inflight) > 0 {
+			d.requeue(inflight, r.opt.MaxAttempts, cause)
+		}
+		return cause
+	}
+
+	for { // reader: match result frames FIFO, complete shards
+		st.mu.Lock()
+		if st.writerDone && st.writerErr != nil {
+			err := st.writerErr
+			st.mu.Unlock()
+			return abort(err)
+		}
+		if st.writerDone && len(st.fifo) == 0 {
+			st.mu.Unlock()
+			// Plan drained cleanly: keep the connection for the next
+			// estimation unless the cancel wake already fired.
+			if stopWake() {
+				r.releaseStream(h, sc)
+			} else {
+				sc.close()
+			}
+			return nil
+		}
+		// Arm the read deadline under st.mu so finishWriter's wake can
+		// never be clobbered by a stale deadline computed before the
+		// writer finished.
+		var deadline time.Time
+		if r.opt.ShardTimeout > 0 && len(st.fifo) > 0 {
+			deadline = st.fifo[0].sent.Add(r.opt.ShardTimeout)
+		}
+		_ = sc.conn.SetReadDeadline(deadline)
+		st.mu.Unlock()
+
+		t, payload, err := readFrame(sc.br, &sc.scratch)
+		if err != nil {
+			if ctx.Err() != nil {
+				return abort(ctx.Err())
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				st.mu.Lock()
+				expired := r.opt.ShardTimeout > 0 && len(st.fifo) > 0 &&
+					time.Since(st.fifo[0].sent) >= r.opt.ShardTimeout
+				st.mu.Unlock()
+				if !expired {
+					continue // the writer's wake, or a re-arm race: re-check
+				}
+				// Re-dispatch on expiry: the batches go back to the
+				// queue for other workers; this connection is dropped
+				// (its late answers would be unmatchable).
+				return abort(fmt.Errorf("worker %s: no answer for %s (shard timeout): re-dispatching", h.url, r.opt.ShardTimeout))
+			}
+			return abort(fmt.Errorf("worker %s: read frame: %w", h.url, err))
+		}
+		switch t {
+		case frameResult:
+			front, ok := st.peek()
+			if !ok {
+				return abort(fmt.Errorf("worker %s: result frame with no batch in flight (corrupt stream?)", h.url))
+			}
+			id, accs, err := decodeResult(payload, front.indices, req.Dim)
+			if err != nil {
+				return abort(fmt.Errorf("worker %s: %w", h.url, err))
+			}
+			if id != reqID {
+				return abort(fmt.Errorf("worker %s: result for request %d, want %d (corrupt stream?)", h.url, id, reqID))
+			}
+			st.popFront()
+			h.noteSuccess()
+			d.complete(front.indices, accs)
+		case frameError:
+			fatal, msg, derr := decodeError(payload)
+			if derr != nil {
+				return abort(fmt.Errorf("worker %s: %w", h.url, derr))
+			}
+			cause := fmt.Errorf("worker %s: %s", h.url, msg)
+			if fatal {
+				return abort(&fatalStatusError{msg: cause.Error()})
+			}
+			return abort(cause)
+		case frameGoodbye:
+			// The worker drained: everything it answered is already
+			// complete; the rest re-dispatches to the survivors.
+			return abort(fmt.Errorf("worker %s: draining (%s)", h.url, bytesToMsg(payload)))
+		default:
+			return abort(fmt.Errorf("worker %s: unexpected %s frame", h.url, t))
+		}
+	}
+}
+
+// bytesToMsg renders a frame's message payload, bounded.
+func bytesToMsg(b []byte) string {
+	const max = 256
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(b)
+}
+
+// jsonHostLoop serves one worker over the HTTP/JSON wire with
+// Concurrency parallel request loops — the pre-stream transport, kept
+// for negotiated-down workers and -wire json.
+func (r *Remote) jsonHostLoop(ctx context.Context, h *hostState, req montecarlo.Request, d *dispatch) error {
+	errs := make([]error, r.opt.Concurrency)
+	var wg sync.WaitGroup
+	for c := 0; c < r.opt.Concurrency; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[c] = r.jsonLoop(ctx, h, req, d)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Remote) jsonLoop(ctx context.Context, h *hostState, req montecarlo.Request, d *dispatch) error {
+	var lastErr error
 	for {
 		h.mu.Lock()
 		dead := h.dead
@@ -357,17 +856,15 @@ func (r *Remote) workerLoop(ctx context.Context, h *hostState, req montecarlo.Re
 			if lastErr == nil {
 				lastErr = fmt.Errorf("worker declared dead")
 			}
-			return
+			return lastErr
 		}
 		batch := d.next(r.opt.BatchSize)
 		if batch == nil {
-			return
+			return lastErr
 		}
 		accs, err := r.post(ctx, h.url, req, batch)
 		if err == nil {
-			h.mu.Lock()
-			h.failures = 0
-			h.mu.Unlock()
+			h.noteSuccess()
 			d.complete(batch, accs)
 			continue
 		}
@@ -379,24 +876,15 @@ func (r *Remote) workerLoop(ctx context.Context, h *hostState, req montecarlo.Re
 			// service squatting on the address. Abandon the worker and
 			// let the rest of the fleet take the batch; the run only
 			// fails if every worker rejects it.
-			d.requeue(batch, maxAttempts, err)
-			h.mu.Lock()
-			h.dead = true
-			h.mu.Unlock()
-			return
+			d.requeue(batch, r.opt.MaxAttempts, err)
+			h.markDead()
+			return lastErr
 		}
 		// Transport failure: hand the batch back for the fleet and
 		// decide whether this worker is still worth talking to.
-		d.requeue(batch, maxAttempts, err)
-		h.mu.Lock()
-		h.failures++
-		if !h.dead && h.failures >= r.opt.HostFailLimit {
-			h.dead = true
-		}
-		dead = h.dead
-		h.mu.Unlock()
-		if dead {
-			return
+		d.requeue(batch, r.opt.MaxAttempts, err)
+		if r.countFailure(h) {
+			return lastErr
 		}
 	}
 }
@@ -404,6 +892,11 @@ func (r *Remote) workerLoop(ctx context.Context, h *hostState, req montecarlo.Re
 // post ships one shard batch to a worker and decodes the per-shard
 // accumulator states, positionally matching indices.
 func (r *Remote) post(ctx context.Context, host string, req montecarlo.Request, indices []int) ([][]montecarlo.Accumulator, error) {
+	if r.opt.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opt.ShardTimeout)
+		defer cancel()
+	}
 	job := ShardJob{Request: req, Proto: ProtoVersion, Indices: indices}
 	body, err := json.Marshal(job)
 	if err != nil {

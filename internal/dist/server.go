@@ -4,9 +4,13 @@ package dist
 // registry. `cs serve -listen :port` runs one of these; any number of
 // coordinators may POST shard batches concurrently (the montecarlo
 // pool bounds per-request parallelism, the HTTP server provides
-// cross-request concurrency).
+// cross-request concurrency). Coordinators that speak the binary
+// stream protocol upgrade PathStream into a persistent framed
+// connection (stream.go); the JSON endpoint stays for older
+// coordinators and as the negotiated-down fallback.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,16 +29,22 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	requests atomic.Int64
-	shards   atomic.Int64
-	samples  atomic.Int64
-	failures atomic.Int64
+	requests      atomic.Int64
+	shards        atomic.Int64
+	samples       atomic.Int64
+	failures      atomic.Int64
+	streams       atomic.Int64
+	streamBatches atomic.Int64
+
+	draining  atomic.Bool
+	streamReg streamRegistry
 }
 
 // NewServer returns a ready-to-serve worker.
 func NewServer() *Server {
 	s := &Server{mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc(PathShards, s.handleShards)
+	s.mux.HandleFunc(PathStream, s.handleStream)
 	s.mux.HandleFunc(PathHealthz, s.handleHealthz)
 	s.mux.HandleFunc(PathStats, s.handleStats)
 	return s
@@ -106,14 +116,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shards:        s.shards.Load(),
 		Samples:       s.samples.Load(),
 		Failures:      s.failures.Load(),
+		Streams:       s.streams.Load(),
+		StreamBatches: s.streamBatches.Load(),
 		Kernels:       montecarlo.KernelNames(),
 	})
 }
 
-// ListenAndServe runs a worker on addr until the listener fails or the
-// process exits. ready, when non-nil, receives the bound address once
-// the listener is up (useful with ":0").
-func ListenAndServe(addr string, ready chan<- net.Addr) error {
+// DrainGrace bounds how long Serve waits for in-flight shard batches
+// (JSON requests and stream batches alike) after a shutdown signal
+// before severing connections. A shard batch is at most BatchSize
+// kernel shards; at `-scale full` that is tens of seconds, so the
+// grace is generous rather than snappy — a fleet restart should never
+// turn delivered work into spurious re-dispatches.
+const DrainGrace = 60 * time.Second
+
+// Serve runs a worker on addr until ctx is canceled or the listener
+// fails. ready, when non-nil, receives the bound address once the
+// listener is up (useful with ":0"). On cancellation the worker
+// drains: it stops accepting work, finishes and delivers in-flight
+// shard batches (up to DrainGrace), closes stream connections with a
+// goodbye frame, and returns nil.
+func Serve(ctx context.Context, addr string, ready chan<- net.Addr) error {
 	if addr == "" {
 		return errors.New("dist: empty listen address")
 	}
@@ -121,9 +144,38 @@ func ListenAndServe(addr string, ready chan<- net.Addr) error {
 	if err != nil {
 		return fmt.Errorf("dist: listen %s: %w", addr, err)
 	}
+	s := NewServer()
+	srv := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	stopped := make(chan struct{})
+	defer close(stopped)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-stopped:
+			return
+		}
+		s.BeginDrain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), DrainGrace)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx) // drains in-flight JSON handlers
+		s.waitStreams(DrainGrace)     // drains hijacked stream conns
+	}()
 	if ready != nil {
 		ready <- ln.Addr()
 	}
-	srv := &http.Server{Handler: NewServer(), ReadHeaderTimeout: 10 * time.Second}
-	return srv.Serve(ln)
+	err = srv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) && ctx.Err() != nil {
+		// Graceful drain: make sure the streams are done before
+		// reporting a clean exit (Shutdown does not track hijacked
+		// connections).
+		s.waitStreams(DrainGrace)
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe runs a worker on addr until the listener fails or the
+// process exits, with no drain hook — Serve with a background context.
+func ListenAndServe(addr string, ready chan<- net.Addr) error {
+	return Serve(context.Background(), addr, ready)
 }

@@ -7,7 +7,9 @@ package montecarlo
 // local one by construction, not by printf precision.
 
 import (
+	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"math"
 )
 
@@ -36,6 +38,39 @@ func FromState(st AccumulatorState) Accumulator {
 		mean: math.Float64frombits(st.Mean),
 		m2:   math.Float64frombits(st.M2),
 	}
+}
+
+// AccumulatorStateSize is the fixed binary wire size of one state:
+// three little-endian uint64 words (sample count, mean bits, M2 bits).
+// This is the payload unit of the binary shard protocol's result
+// frames — the float bit patterns cross the wire untouched, so a
+// binary-transported state merges bit-identically, exactly as the JSON
+// form does.
+const AccumulatorStateSize = 24
+
+// AppendBinary appends the state's AccumulatorStateSize-byte wire
+// image to b and returns the extended slice.
+func (st AccumulatorState) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.N))
+	b = binary.LittleEndian.AppendUint64(b, st.Mean)
+	return binary.LittleEndian.AppendUint64(b, st.M2)
+}
+
+// DecodeAccumulatorState decodes one state from the front of b (the
+// inverse of AppendBinary).
+func DecodeAccumulatorState(b []byte) (AccumulatorState, error) {
+	if len(b) < AccumulatorStateSize {
+		return AccumulatorState{}, fmt.Errorf("montecarlo: accumulator state truncated: %d of %d bytes", len(b), AccumulatorStateSize)
+	}
+	n := binary.LittleEndian.Uint64(b)
+	if n > math.MaxInt {
+		return AccumulatorState{}, fmt.Errorf("montecarlo: accumulator state sample count %d overflows int", n)
+	}
+	return AccumulatorState{
+		N:    int(n),
+		Mean: binary.LittleEndian.Uint64(b[8:]),
+		M2:   binary.LittleEndian.Uint64(b[16:]),
+	}, nil
 }
 
 // MarshalJSON implements json.Marshaler via AccumulatorState.

@@ -1,0 +1,67 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccumulatorStateBinaryRoundTrip(t *testing.T) {
+	var acc Accumulator
+	for _, v := range []float64{0.125, -3.75, 1e-17, 6.02e23, math.Pi} {
+		acc.Add(v)
+	}
+	want := acc.State()
+	buf := want.AppendBinary(nil)
+	if len(buf) != AccumulatorStateSize {
+		t.Fatalf("encoded state is %d bytes, want %d", len(buf), AccumulatorStateSize)
+	}
+	got, err := DecodeAccumulatorState(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip changed the state: %+v != %+v", got, want)
+	}
+	// The restored accumulator must be the same bit patterns, not just
+	// approximately equal — this is the distributed determinism
+	// contract's currency.
+	back := FromState(got)
+	if back.State() != want {
+		t.Fatalf("FromState lost bits: %+v != %+v", back.State(), want)
+	}
+}
+
+func TestAccumulatorStateBinaryAppendsInPlace(t *testing.T) {
+	a := Accumulator{}
+	a.Add(1)
+	b := Accumulator{}
+	b.Add(2)
+	buf := a.State().AppendBinary(nil)
+	buf = b.State().AppendBinary(buf)
+	if len(buf) != 2*AccumulatorStateSize {
+		t.Fatalf("two states encode to %d bytes, want %d", len(buf), 2*AccumulatorStateSize)
+	}
+	first, err := DecodeAccumulatorState(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := DecodeAccumulatorState(buf[AccumulatorStateSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != a.State() || second != b.State() {
+		t.Fatal("concatenated states decoded out of order")
+	}
+}
+
+func TestDecodeAccumulatorStateRejectsTruncation(t *testing.T) {
+	var acc Accumulator
+	acc.Add(42)
+	buf := acc.State().AppendBinary(nil)
+	if _, err := DecodeAccumulatorState(buf[:AccumulatorStateSize-1]); err == nil {
+		t.Fatal("truncated state decoded silently")
+	}
+	if _, err := DecodeAccumulatorState(nil); err == nil {
+		t.Fatal("empty state decoded silently")
+	}
+}

@@ -76,6 +76,51 @@ sim_json+="    \"packet_sim_second_allocs\": $pkt_allocs,\n"
 sim_json+="    \"ablation_preamble_vs_energy_ns\": $abl_ns\n"
 sim_json+="  },\n"
 
+go build -o "$csbin" ./cmd/cs
+
+# Distributed lane: the per-shard cost of the three execution paths —
+# in-process, the JSON fallback wire, and the binary frame wire — from
+# the BenchmarkDistributedVsLocal sub-benchmarks above, plus the cache
+# hit rate a plan-driven prefetch pass achieves (run cold: -prefetch
+# warms the cache, then the real run should be all hits). The binary
+# wire's remote tax over local is the number the streaming protocol is
+# accountable for run-over-run.
+local_us=$(bench_metric "BenchmarkDistributedVsLocal/local" "us/shard")
+json2_us=$(bench_metric "BenchmarkDistributedVsLocal/remote-2workers/json" "us/shard")
+bin2_us=$(bench_metric "BenchmarkDistributedVsLocal/remote-2workers/binary" "us/shard")
+json5_us=$(bench_metric "BenchmarkDistributedVsLocal/remote-5workers/json" "us/shard")
+bin5_us=$(bench_metric "BenchmarkDistributedVsLocal/remote-5workers/binary" "us/shard")
+
+# Two processes on one cold cache dir: the first only prefetches (its
+# own stats would mix the warming misses into the rate), the second is
+# the "real run" — its hit rate is what the prefetch bought.
+prefetch_dir=$(mktemp -d)
+prefetch_log=$(mktemp)
+"$csbin" run curves -scale smoke -seed 7 \
+    -cache -cache-dir "$prefetch_dir/cache" -prefetch \
+    -out "$prefetch_dir/warm" >/dev/null 2>"$prefetch_log" || true
+prefetch_fetched=$(grep -o '[0-9]* fetched' "$prefetch_log" | head -1 | cut -d' ' -f1)
+"$csbin" run curves -scale smoke -seed 7 \
+    -cache -cache-dir "$prefetch_dir/cache" \
+    -out "$prefetch_dir/run" >/dev/null 2>"$prefetch_log" || true
+prefetch_hit_rate=$(awk '
+    /^cache: / { hits = $2; disk = $4; misses = $7 }
+    END {
+        total = hits + disk + misses
+        if (total > 0) printf "%.4f", (hits + disk) / total; else print "null"
+    }' "$prefetch_log")
+rm -rf "$prefetch_dir"; rm -f "$prefetch_log"
+echo "dist lane: ${local_us}us/shard local, ${json5_us} json, ${bin5_us} binary (5 workers); prefetch hit rate ${prefetch_hit_rate} (${prefetch_fetched:-0} warmed)"
+dist_json="  \"dist\": {\n"
+dist_json+="    \"local_us_per_shard\": $local_us,\n"
+dist_json+="    \"remote_2workers_json_us_per_shard\": $json2_us,\n"
+dist_json+="    \"remote_2workers_binary_us_per_shard\": $bin2_us,\n"
+dist_json+="    \"remote_5workers_json_us_per_shard\": $json5_us,\n"
+dist_json+="    \"remote_5workers_binary_us_per_shard\": $bin5_us,\n"
+dist_json+="    \"prefetch_fetched\": ${prefetch_fetched:-null},\n"
+dist_json+="    \"prefetch_hit_rate\": $prefetch_hit_rate\n"
+dist_json+="  },\n"
+
 # Samples-to-target lane: every sampler strategy drives the same
 # scenarios to the same relative-error target through the adaptive
 # convergence driver (`-relerr`); the sampling_spent metric in each
@@ -86,7 +131,6 @@ target=0.005
 max_samples=4194304
 scale=smoke
 echo "samples-to-target lane: relerr <= $target, scale $scale"
-go build -o "$csbin" ./cmd/cs
 
 spent_for() { # scenario sampler -> sampling_spent
     local dir
@@ -123,6 +167,7 @@ sampling_json+="    ]\n  }\n"
     printf '  "bench": "go test -short -run ^$ -bench . -benchtime 1x -benchmem .",\n'
     cat "$bench_json"
     printf '%b' "$sim_json"
+    printf '%b' "$dist_json"
     printf '%b' "$sampling_json"
     printf '}\n'
 } > "$out"

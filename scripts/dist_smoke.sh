@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Distributed smoke test: start two `cs serve` workers on localhost,
-# run one scenario with and without -workers, and require the two runs
-# to be byte-identical. CI runs this; it is also handy locally:
+# Distributed smoke test: start two `cs serve` workers on localhost and
+# run one scenario four ways — locally, over the JSON wire, over the
+# binary frame wire, and via -cache -prefetch on the binary wire — then
+# require every run to be byte-identical to the local one. The /stats
+# endpoints must show the traffic actually took the wire under test
+# (shards via JSON POSTs, stream batches via binary frames). CI runs
+# this; it is also handy locally:
 #
 #   scripts/dist_smoke.sh
 set -euo pipefail
@@ -34,28 +38,75 @@ for port in 18041 18042; do
   fi
 done
 
+fleet=127.0.0.1:18041,127.0.0.1:18042
 scenario=curves
+
+stat_sum() { # <json field> -> field summed across both workers
+  local total=0 v
+  for port in 18041 18042; do
+    v=$(curl -sf "http://127.0.0.1:$port/stats" |
+      grep -o "\"$1\":[0-9]*" | head -1 | cut -d: -f2)
+    total=$((total + ${v:-0}))
+  done
+  echo "$total"
+}
+
+require_identical() { # <dir> <label>
+  local got_dir
+  got_dir=$(echo "$1"/*)
+  for f in output.txt result.json; do
+    if ! cmp -s "$local_dir/$f" "$got_dir/$f"; then
+      echo "$2 run differs from local in $f:" >&2
+      diff "$local_dir/$f" "$got_dir/$f" >&2 || true
+      exit 1
+    fi
+  done
+}
+
 "$work/cs" run "$scenario" -scale smoke -seed 7 -quiet -out "$work/local"
-"$work/cs" run "$scenario" -scale smoke -seed 7 -quiet \
-  -workers 127.0.0.1:18041,127.0.0.1:18042 -out "$work/dist"
-
 local_dir=$(echo "$work"/local/*)
-dist_dir=$(echo "$work"/dist/*)
-for f in output.txt result.json; do
-  if ! cmp -s "$local_dir/$f" "$dist_dir/$f"; then
-    echo "distributed run differs from local in $f:" >&2
-    diff "$local_dir/$f" "$dist_dir/$f" >&2 || true
-    exit 1
-  fi
-done
 
-s1=$(curl -sf http://127.0.0.1:18041/stats)
-s2=$(curl -sf http://127.0.0.1:18042/stats)
-echo "worker 1 stats: $s1"
-echo "worker 2 stats: $s2"
-if [[ "$s1" == *'"shards":0,'* && "$s2" == *'"shards":0,'* ]]; then
-  echo "neither worker served any shards — the run was not distributed" >&2
+# JSON wire: the legacy one-POST-per-batch protocol, still the fallback
+# for old workers. Must be bit-identical and must move shards.
+"$work/cs" run "$scenario" -scale smoke -seed 7 -quiet \
+  -workers "$fleet" -wire json -out "$work/json"
+require_identical "$work/json" "json-wire"
+if [ "$(stat_sum shards)" -eq 0 ]; then
+  echo "JSON-wire run moved no shards — the run was not distributed" >&2
   exit 1
 fi
 
-echo "distributed smoke OK: '$scenario' is bit-identical across 2 workers"
+# Binary wire: persistent streams, length-prefixed frames. Must be
+# bit-identical and must move stream batches (the counter only the
+# frame protocol increments).
+"$work/cs" run "$scenario" -scale smoke -seed 7 -quiet \
+  -workers "$fleet" -wire binary -out "$work/binary"
+require_identical "$work/binary" "binary-wire"
+if [ "$(stat_sum stream_batches)" -eq 0 ]; then
+  echo "binary-wire run moved no stream batches — frames were not used" >&2
+  exit 1
+fi
+
+# Plan-driven prefetch: cold cache, -prefetch warms it through the
+# fleet, then the real run is served from the cache — still
+# byte-identical output.
+prefetch_log="$work/prefetch.log"
+"$work/cs" run "$scenario" -scale smoke -seed 7 -quiet \
+  -workers "$fleet" -wire binary \
+  -cache -cache-dir "$work/cache" -prefetch \
+  -out "$work/prefetch" 2>"$prefetch_log"
+require_identical "$work/prefetch" "prefetch"
+if ! grep -q '^prefetch: [0-9]* predicted misses' "$prefetch_log"; then
+  echo "prefetch pass left no summary line; stderr was:" >&2
+  cat "$prefetch_log" >&2
+  exit 1
+fi
+fetched=$(grep -o '[0-9]* fetched' "$prefetch_log" | head -1 | cut -d' ' -f1)
+if [ "${fetched:-0}" -eq 0 ]; then
+  echo "prefetch pass fetched nothing on a cold cache:" >&2
+  cat "$prefetch_log" >&2
+  exit 1
+fi
+grep '^prefetch:' "$prefetch_log"
+
+echo "distributed smoke OK: '$scenario' is bit-identical across 2 workers on both wires (+prefetch, $fetched estimations warmed)"
