@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -38,6 +39,7 @@ import (
 	"carriersense/internal/engine"
 	_ "carriersense/internal/experiments" // registers the scenario catalog
 	"carriersense/internal/montecarlo"
+	"carriersense/internal/obs"
 	"carriersense/internal/sampling"
 )
 
@@ -128,6 +130,16 @@ run/all flags:
                  entries are evicted once the directory exceeds B bytes
   -cpuprofile F  write a CPU profile of the run to F (go tool pprof)
   -memprofile F  write a heap profile at the end of the run to F
+  -trace F       write a Chrome trace_event JSON timeline of the run
+                 to F — engine variants, kernel estimations, local
+                 pool shards, and per-worker dispatch batches as spans
+                 (open in https://ui.perfetto.dev or chrome://tracing);
+                 purely observational: artifacts stay byte-identical
+  -metrics-listen ADDR
+                 serve the process metric registry as Prometheus text
+                 at http://ADDR/metrics for the duration of the run
+                 (workers always expose /metrics; this adds the
+                 coordinator side)
   -out DIR       write artifacts (output.txt, result.json, *.csv) into a
                  timestamped run directory under DIR
   -quiet         suppress the live text report on stdout
@@ -159,12 +171,14 @@ func (m *multiFlag) Set(v string) error {
 
 // runConfig is the fully-resolved state of one run/all invocation.
 type runConfig struct {
-	opts       engine.Options
-	cache      *cache.Executor // non-nil when -cache is set
-	cacheDir   string          // resolved persistent cache directory (when -cache)
-	prefetch   bool            // -prefetch: warm the cache from the plan first
-	cpuProfile string
-	memProfile string
+	opts          engine.Options
+	cache         *cache.Executor // non-nil when -cache is set
+	cacheDir      string          // resolved persistent cache directory (when -cache)
+	prefetch      bool            // -prefetch: warm the cache from the plan first
+	cpuProfile    string
+	memProfile    string
+	traceFile     string // -trace: Chrome trace_event JSON output path
+	metricsListen string // -metrics-listen: /metrics scrape address for the run
 }
 
 // runOptions binds the shared run/all flags onto a FlagSet. After
@@ -190,6 +204,8 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "evict least-recently-used persistent entries beyond this size (0 = unbounded)")
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file")
+	fs.StringVar(&cfg.traceFile, "trace", "", "write a Chrome trace_event JSON timeline of the run to this file")
+	fs.StringVar(&cfg.metricsListen, "metrics-listen", "", "serve Prometheus /metrics on this address for the duration of the run")
 	fs.StringVar(&opts.OutDir, "out", "", "artifact directory (empty = stdout only)")
 	if withSets {
 		fs.Var(&sets, "set", "parameter override k=v (repeatable)")
@@ -311,10 +327,41 @@ func startProfiles(cfg runConfig) (stop func() error, err error) {
 	}, nil
 }
 
+// startMetricsServer serves the process metric registry at /metrics on
+// addr until the returned stop function is called. Scrapes during a
+// run observe live counters; the endpoint exists only for the run's
+// duration (long-lived scraping belongs on `cs serve` workers).
+func startMetricsServer(addr string) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen -metrics-listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Default().Handler())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", ln.Addr())
+	return func() { _ = srv.Close() }, nil
+}
+
 // runAndReport executes fn between profile start/stop and, unless the
 // run is quiet, reports Monte Carlo throughput (and cache
-// effectiveness when -cache is on).
+// effectiveness when -cache is on). It also hosts the run-scoped
+// observability surfaces: the -metrics-listen scrape endpoint and the
+// -trace timeline, both of which observe the run without perturbing
+// its deterministic artifacts.
 func runAndReport(cfg runConfig, fn func() error) error {
+	if cfg.metricsListen != "" {
+		stopMetrics, err := startMetricsServer(cfg.metricsListen)
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+	}
+	if cfg.traceFile != "" {
+		obs.SetTracer(obs.NewTracer())
+		defer obs.SetTracer(nil)
+	}
 	stop, err := startProfiles(cfg)
 	if err != nil {
 		return err
@@ -325,6 +372,17 @@ func runAndReport(cfg runConfig, fn func() error) error {
 	elapsed := time.Since(start)
 	if err := stop(); err != nil && runErr == nil {
 		runErr = err
+	}
+	if cfg.traceFile != "" {
+		tr := obs.CurrentTracer()
+		if werr := tr.WriteFile(cfg.traceFile); werr != nil {
+			if runErr == nil {
+				runErr = fmt.Errorf("write -trace: %w", werr)
+			}
+		} else if cfg.opts.Stdout != nil {
+			fmt.Fprintf(os.Stderr, "trace: %d events written to %s (load in https://ui.perfetto.dev)\n",
+				tr.Len(), cfg.traceFile)
+		}
 	}
 	// Throughput and cache diagnostics go to stderr: stdout stays
 	// byte-stable for a fixed seed (the determinism contract users
@@ -666,8 +724,8 @@ func cmdServe(args []string) error {
 	go func() { errc <- dist.Serve(ctx, *listen, ready) }()
 	select {
 	case addr := <-ready:
-		fmt.Fprintf(os.Stderr, "cs worker listening on %s (%d kernels; endpoints %s %s %s %s)\n",
-			addr, len(montecarlo.KernelNames()), dist.PathShards, dist.PathStream, dist.PathHealthz, dist.PathStats)
+		fmt.Fprintf(os.Stderr, "cs worker listening on %s (%d kernels; endpoints %s %s %s %s %s)\n",
+			addr, len(montecarlo.KernelNames()), dist.PathShards, dist.PathStream, dist.PathHealthz, dist.PathStats, dist.PathMetrics)
 	case err := <-errc:
 		return err
 	}

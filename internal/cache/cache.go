@@ -178,16 +178,21 @@ func (e *Executor) EstimateVec(ctx context.Context, req montecarlo.Request) ([]m
 		return nil, err
 	}
 	key := Key(req)
+	lookupStart := time.Now()
 	if states, ok := e.lookup(key); ok {
+		mLookupSeconds.Observe(time.Since(lookupStart).Seconds())
 		return fromStates(states), nil
 	}
 	if states, ok := e.loadDisk(key, req); ok {
+		mLookupSeconds.Observe(time.Since(lookupStart).Seconds())
 		e.mu.Lock()
 		e.stats.DiskHits++
 		e.mu.Unlock()
+		mDiskHits.Inc()
 		e.store(key, states)
 		return fromStates(states), nil
 	}
+	mLookupSeconds.Observe(time.Since(lookupStart).Seconds())
 	accs, err := e.inner.EstimateVec(ctx, req)
 	if err != nil {
 		return nil, err
@@ -198,6 +203,7 @@ func (e *Executor) EstimateVec(ctx context.Context, req montecarlo.Request) ([]m
 	e.mu.Lock()
 	e.stats.Misses++
 	e.mu.Unlock()
+	mMisses.Inc()
 	states := toStates(accs)
 	e.store(key, states)
 	e.saveDisk(key, req, states)
@@ -214,6 +220,7 @@ func (e *Executor) lookup(key string) ([]montecarlo.AccumulatorState, bool) {
 	}
 	e.lru.MoveToFront(el)
 	e.stats.Hits++
+	mHits.Inc()
 	return el.Value.(*entry).states, true
 }
 
@@ -232,6 +239,7 @@ func (e *Executor) store(key string, states []montecarlo.AccumulatorState) {
 		e.lru.Remove(back)
 		delete(e.entries, back.Value.(*entry).key)
 		e.stats.Evictions++
+		mEvictions.Inc()
 	}
 }
 
@@ -351,6 +359,7 @@ func (e *Executor) saveDisk(key string, req montecarlo.Request, states []monteca
 		e.mu.Lock()
 		e.stats.WriteFails++
 		e.mu.Unlock()
+		mWriteFails.Inc()
 		return
 	}
 	if e.maxBytes > 0 {
@@ -390,6 +399,7 @@ func (e *Executor) enforceDiskBudget(written int64) {
 	e.diskBytes = remaining
 	e.stats.DiskEvictions += int64(evicted)
 	e.mu.Unlock()
+	mDiskEvictions.Add(int64(evicted))
 }
 
 // EvictDir removes least-recently-used cache entries — mtime order;

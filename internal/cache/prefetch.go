@@ -70,6 +70,7 @@ func Prefetch(ctx context.Context, exec *Executor, misses []montecarlo.Request) 
 			continue
 		}
 		rep.Fetched++
+		mPrefetchFills.Inc()
 		rep.Samples += int64(req.SampleSpan())
 	}
 	return rep, firstErr

@@ -108,6 +108,9 @@ func writeFrame(w *bufio.Writer, t frameType, payload []byte) error {
 		return err
 	}
 	_, err := w.Write(payload)
+	if err == nil {
+		mBytesBinaryTx.Add(int64(5 + len(payload)))
+	}
 	return err
 }
 
@@ -133,6 +136,7 @@ func readFrame(r *bufio.Reader, scratch *[]byte) (frameType, []byte, error) {
 	if _, err := readFull(r, buf); err != nil {
 		return 0, nil, fmt.Errorf("%s frame truncated: %w", t, err)
 	}
+	mBytesBinaryRx.Add(int64(5 + n))
 	return t, buf, nil
 }
 

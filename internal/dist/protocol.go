@@ -23,6 +23,8 @@ const (
 	PathHealthz = "/healthz"
 	// PathStats reports cumulative worker statistics.
 	PathStats = "/stats"
+	// PathMetrics serves the process's obs registry as Prometheus text.
+	PathMetrics = "/metrics"
 )
 
 // ProtoVersion is the shard wire protocol version. Bump it whenever a
@@ -96,14 +98,18 @@ type ShardResponse struct {
 
 // Stats is the /stats payload. Requests counts JSON shard POSTs plus
 // binary stream batches; Streams and StreamBatches break out the
-// binary wire's share.
+// binary wire's share. InflightBatches and Draining expose the
+// worker's live state so a smoke test can assert graceful-drain
+// behavior instead of inferring it from log lines.
 type Stats struct {
-	UptimeSeconds float64  `json:"uptime_seconds"`
-	Requests      int64    `json:"requests"`
-	Shards        int64    `json:"shards"`
-	Samples       int64    `json:"samples"`
-	Failures      int64    `json:"failures"`
-	Streams       int64    `json:"streams"`
-	StreamBatches int64    `json:"stream_batches"`
-	Kernels       []string `json:"kernels"`
+	UptimeSeconds   float64  `json:"uptime_seconds"`
+	Requests        int64    `json:"requests"`
+	Shards          int64    `json:"shards"`
+	Samples         int64    `json:"samples"`
+	Failures        int64    `json:"failures"`
+	Streams         int64    `json:"streams"`
+	StreamBatches   int64    `json:"stream_batches"`
+	InflightBatches int64    `json:"inflight_batches"`
+	Draining        bool     `json:"draining"`
+	Kernels         []string `json:"kernels"`
 }

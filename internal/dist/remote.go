@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"carriersense/internal/montecarlo"
+	"carriersense/internal/obs"
 )
 
 // Remote tuning defaults.
@@ -168,14 +169,19 @@ func NewRemote(hosts []string, opts ...RemoteOptions) (*Remote, error) {
 		}
 	}
 	r := &Remote{opt: opt}
-	for _, h := range hosts {
+	for i, h := range hosts {
 		if h == "" {
 			return nil, fmt.Errorf("dist: empty worker address")
 		}
 		if !strings.Contains(h, "://") {
 			h = "http://" + h
 		}
-		r.hosts = append(r.hosts, &hostState{url: strings.TrimRight(h, "/")})
+		url := strings.TrimRight(h, "/")
+		r.hosts = append(r.hosts, &hostState{
+			url:          url,
+			tid:          obs.TidRemoteBase + i,
+			batchSeconds: batchSecondsFor(url),
+		})
 	}
 	return r, nil
 }
@@ -304,6 +310,7 @@ func (d *dispatch) requeue(indices []int, maxAttempts int, cause error) {
 			break
 		}
 		d.pending = append(d.pending, idx)
+		mRequeues.Inc()
 	}
 	d.cond.Broadcast()
 }
@@ -425,23 +432,53 @@ func (r *Remote) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 // death is permanent for the Remote's lifetime, and so is a
 // negotiated-down wire.
 type hostState struct {
-	url      string
-	mu       sync.Mutex
-	failures int           // consecutive transport failures
-	dead     bool          // declared dead; all loops for this host exit
-	jsonOnly bool          // negotiated down: worker refused the binary stream
-	idle     []*streamConn // pooled binary streams, reused across estimations
+	url          string
+	tid          int            // tracer lane (obs.TidRemoteBase + fleet position)
+	batchSeconds *obs.Histogram // dispatch→result latency for this worker
+	mu           sync.Mutex
+	failures     int           // consecutive transport failures
+	dead         bool          // declared dead; all loops for this host exit
+	jsonOnly     bool          // negotiated down: worker refused the binary stream
+	idle         []*streamConn // pooled binary streams, reused across estimations
 }
 
 // markDead declares the host unusable and closes its pooled streams.
 func (h *hostState) markDead() {
 	h.mu.Lock()
+	was := h.dead
 	h.dead = true
 	idle := h.idle
 	h.idle = nil
 	h.mu.Unlock()
 	for _, sc := range idle {
 		sc.close()
+	}
+	if !was {
+		mWorkersAbandoned.Inc()
+		if tr := obs.CurrentTracer(); tr != nil {
+			tr.Instant("worker_abandoned", "dist", h.tid, map[string]any{"worker": h.url})
+		}
+	}
+}
+
+// observeBatch records one completed batch's dispatch→result latency
+// on the worker's histogram and, when tracing, a span on its lane.
+func (h *hostState) observeBatch(wire string, sent time.Time, shards int) {
+	elapsed := time.Since(sent)
+	h.batchSeconds.Observe(elapsed.Seconds())
+	if wire == "binary" {
+		mBatchesBinary.Inc()
+	} else {
+		mBatchesJSON.Inc()
+	}
+	if tr := obs.CurrentTracer(); tr != nil {
+		tr.NameThread(h.tid, "worker "+h.url)
+		start := tr.Now() - elapsed
+		if start < 0 {
+			start = 0
+		}
+		tr.Span("batch", "dist", h.tid, start,
+			map[string]any{"shards": shards, "wire": wire, "worker": h.url})
 	}
 }
 
@@ -774,6 +811,10 @@ func (r *Remote) runStream(ctx context.Context, h *hostState, sc *streamConn, re
 				// Re-dispatch on expiry: the batches go back to the
 				// queue for other workers; this connection is dropped
 				// (its late answers would be unmatchable).
+				mShardTimeouts.Inc()
+				if tr := obs.CurrentTracer(); tr != nil {
+					tr.Instant("shard_timeout", "dist", h.tid, map[string]any{"worker": h.url})
+				}
 				return abort(fmt.Errorf("worker %s: no answer for %s (shard timeout): re-dispatching", h.url, r.opt.ShardTimeout))
 			}
 			return abort(fmt.Errorf("worker %s: read frame: %w", h.url, err))
@@ -793,6 +834,7 @@ func (r *Remote) runStream(ctx context.Context, h *hostState, sc *streamConn, re
 			}
 			st.popFront()
 			h.noteSuccess()
+			h.observeBatch("binary", front.sent, len(front.indices))
 			d.complete(front.indices, accs)
 		case frameError:
 			fatal, msg, derr := decodeError(payload)
@@ -812,6 +854,19 @@ func (r *Remote) runStream(ctx context.Context, h *hostState, sc *streamConn, re
 			return abort(fmt.Errorf("worker %s: unexpected %s frame", h.url, t))
 		}
 	}
+}
+
+// countingReader counts bytes read through it (JSON wire rx
+// accounting — the decoder sees exactly the response body).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // bytesToMsg renders a frame's message payload, bounded.
@@ -862,9 +917,11 @@ func (r *Remote) jsonLoop(ctx context.Context, h *hostState, req montecarlo.Requ
 		if batch == nil {
 			return lastErr
 		}
+		sent := time.Now()
 		accs, err := r.post(ctx, h.url, req, batch)
 		if err == nil {
 			h.noteSuccess()
+			h.observeBatch("json", sent, len(batch))
 			d.complete(batch, accs)
 			continue
 		}
@@ -907,6 +964,7 @@ func (r *Remote) post(ctx context.Context, host string, req montecarlo.Request, 
 		return nil, &fatalStatusError{msg: fmt.Sprintf("build request: %v", err)}
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	mBytesJSONTx.Add(int64(len(body)))
 	resp, err := r.opt.Client.Do(httpReq)
 	if err != nil {
 		return nil, fmt.Errorf("post %s: %w", host, err)
@@ -919,8 +977,11 @@ func (r *Remote) post(ctx context.Context, host string, req montecarlo.Request, 
 		}
 		return nil, fmt.Errorf("post %s: %s: %s", host, resp.Status, strings.TrimSpace(string(msg)))
 	}
+	cr := &countingReader{r: resp.Body}
 	var sr ShardResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+	err = json.NewDecoder(cr).Decode(&sr)
+	mBytesJSONRx.Add(cr.n)
+	if err != nil {
 		return nil, fmt.Errorf("decode response from %s: %w", host, err)
 	}
 	if sr.Proto != ProtoVersion {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"carriersense/internal/montecarlo"
+	"carriersense/internal/obs"
 )
 
 // Server is a shard worker: it evaluates ShardJob batches against the
@@ -35,6 +36,7 @@ type Server struct {
 	failures      atomic.Int64
 	streams       atomic.Int64
 	streamBatches atomic.Int64
+	inflight      atomic.Int64
 
 	draining  atomic.Bool
 	streamReg streamRegistry
@@ -47,7 +49,29 @@ func NewServer() *Server {
 	s.mux.HandleFunc(PathStream, s.handleStream)
 	s.mux.HandleFunc(PathHealthz, s.handleHealthz)
 	s.mux.HandleFunc(PathStats, s.handleStats)
+	s.mux.Handle(PathMetrics, obs.Default().Handler())
 	return s
+}
+
+// beginBatch/endBatch bracket one shard batch's evaluation for the
+// in-flight accounting (per-Server for /stats, process-wide for the
+// cs_worker_inflight_batches gauge).
+func (s *Server) beginBatch() {
+	s.inflight.Add(1)
+	wInflight.Inc()
+	wRequests.Inc()
+	s.requests.Add(1)
+}
+
+func (s *Server) endBatch() {
+	s.inflight.Add(-1)
+	wInflight.Dec()
+}
+
+// countFailure tallies one failed batch on both stat surfaces.
+func (s *Server) countFailure() {
+	s.failures.Add(1)
+	wFailures.Inc()
 }
 
 // ServeHTTP implements http.Handler.
@@ -60,27 +84,33 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	s.requests.Add(1)
+	s.beginBatch()
+	defer s.endBatch()
+	cr := &countingReader{r: r.Body}
 	var job ShardJob
-	if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
-		s.failures.Add(1)
+	err := json.NewDecoder(cr).Decode(&job)
+	mBytesJSONRx.Add(cr.n)
+	if err != nil {
+		s.countFailure()
 		http.Error(w, fmt.Sprintf("decode shard job: %v", err), http.StatusBadRequest)
 		return
 	}
 	if err := job.Validate(); err != nil {
-		s.failures.Add(1)
+		s.countFailure()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	evalStart := time.Now()
 	accs, err := montecarlo.EvaluateShards(job.Request, job.Indices)
 	if err != nil {
-		s.failures.Add(1)
+		s.countFailure()
 		// Unknown kernels and bad params are the caller's mistake, not
 		// a worker fault; report 400 so the coordinator fails fast
 		// instead of retrying elsewhere.
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	wBatchEvalSeconds.Observe(time.Since(evalStart).Seconds())
 	resp := ShardResponse{Proto: ProtoVersion, Results: make([]ShardResult, len(job.Indices))}
 	sampleCount := 0
 	for i, idx := range job.Indices {
@@ -97,10 +127,20 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 	}
 	s.shards.Add(int64(len(job.Indices)))
 	s.samples.Add(int64(sampleCount))
+	wShards.Add(int64(len(job.Indices)))
+	wSamples.Add(int64(sampleCount))
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		s.failures.Add(1)
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.countFailure()
+		return
 	}
+	body = append(body, '\n')
+	if _, err := w.Write(body); err != nil {
+		s.countFailure()
+		return
+	}
+	mBytesJSONTx.Add(int64(len(body)))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -111,14 +151,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(Stats{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests.Load(),
-		Shards:        s.shards.Load(),
-		Samples:       s.samples.Load(),
-		Failures:      s.failures.Load(),
-		Streams:       s.streams.Load(),
-		StreamBatches: s.streamBatches.Load(),
-		Kernels:       montecarlo.KernelNames(),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Requests:        s.requests.Load(),
+		Shards:          s.shards.Load(),
+		Samples:         s.samples.Load(),
+		Failures:        s.failures.Load(),
+		Streams:         s.streams.Load(),
+		StreamBatches:   s.streamBatches.Load(),
+		InflightBatches: s.inflight.Load(),
+		Draining:        s.draining.Load(),
+		Kernels:         montecarlo.KernelNames(),
 	})
 }
 

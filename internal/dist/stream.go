@@ -196,6 +196,7 @@ const maxStreamRequests = 64
 // batches.
 func (s *Server) serveStream(ss *streamSession) {
 	s.streams.Add(1)
+	wStreams.Inc()
 	s.registerStream(ss.conn)
 	defer func() {
 		s.unregisterStream(ss.conn)
@@ -203,7 +204,7 @@ func (s *Server) serveStream(ss *streamSession) {
 	}()
 
 	fail := func(msg string) {
-		s.failures.Add(1)
+		s.countFailure()
 		_ = writeFrame(ss.bw, frameError, encodeError(true, msg))
 		_ = ss.bw.Flush()
 	}
@@ -285,19 +286,23 @@ func (s *Server) serveStream(ss *streamSession) {
 				fail(fmt.Sprintf("dist: batch references unknown request id %d", id))
 				return
 			}
-			s.requests.Add(1)
+			s.beginBatch()
 			s.streamBatches.Add(1)
 			if err := validateIndices(indices, req.FirstShard, montecarlo.ShardCount(req.Samples)); err != nil {
+				s.endBatch()
 				fail(err.Error())
 				return
 			}
+			evalStart := time.Now()
 			accs, err := montecarlo.EvaluateShards(req, indices)
 			if err != nil {
 				// The caller's mistake (unknown kernel, bad params):
 				// fatal, exactly like the JSON path's 400.
+				s.endBatch()
 				fail(err.Error())
 				return
 			}
+			wBatchEvalSeconds.Observe(time.Since(evalStart).Seconds())
 			sampleCount := 0
 			for i := range accs {
 				if len(accs[i]) > 0 {
@@ -306,6 +311,9 @@ func (s *Server) serveStream(ss *streamSession) {
 			}
 			s.shards.Add(int64(len(indices)))
 			s.samples.Add(int64(sampleCount))
+			wShards.Add(int64(len(indices)))
+			wSamples.Add(int64(sampleCount))
+			s.endBatch()
 			if err := writeFrame(ss.bw, frameResult, encodeResult(id, req.Dim, indices, accs)); err != nil {
 				return
 			}
@@ -363,6 +371,7 @@ func (s *Server) BeginDrain() {
 	if s.draining.Swap(true) {
 		return
 	}
+	wDraining.Set(1)
 	s.streamReg.mu.Lock()
 	for c := range s.streamReg.conns {
 		// Wake blocked readers; serveStream's error path turns this

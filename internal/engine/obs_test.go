@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The run summary that used to live only on stderr must now persist
+// into the run directory as metrics.json + timings.csv — and stay out
+// of the deterministic artifacts.
+func TestRunWritesMetricsArtifacts(t *testing.T) {
+	registerStub(t, "stub-obs-metrics")
+	dir := t.TempDir()
+	now := time.Date(2026, 8, 1, 9, 0, 0, 0, time.UTC)
+	if _, err := Run(context.Background(), "stub-obs-metrics", Options{
+		Scale:  "smoke",
+		OutDir: dir,
+		Now:    now,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	runDir := filepath.Join(dir, "20260801-090000-stub-obs-metrics")
+
+	js, err := os.ReadFile(filepath.Join(runDir, "metrics.json"))
+	if err != nil {
+		t.Fatalf("metrics.json: %v", err)
+	}
+	var doc struct {
+		Scenario         string  `json:"scenario"`
+		ElapsedSeconds   float64 `json:"elapsed_seconds"`
+		EvaluatedSamples int64   `json:"evaluated_samples"`
+		SamplesPerSec    float64 `json:"samples_per_sec"`
+		Variants         []struct {
+			WallSeconds float64 `json:"wall_seconds"`
+		} `json:"variants"`
+	}
+	if err := json.Unmarshal(js, &doc); err != nil {
+		t.Fatalf("metrics.json parse: %v", err)
+	}
+	if doc.Scenario != "stub-obs-metrics" {
+		t.Errorf("scenario = %q", doc.Scenario)
+	}
+	if doc.ElapsedSeconds <= 0 {
+		t.Errorf("elapsed_seconds = %v", doc.ElapsedSeconds)
+	}
+	if len(doc.Variants) != 1 || doc.Variants[0].WallSeconds <= 0 {
+		t.Errorf("variants = %+v", doc.Variants)
+	}
+
+	f, err := os.Open(filepath.Join(runDir, "timings.csv"))
+	if err != nil {
+		t.Fatalf("timings.csv: %v", err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("timings.csv parse: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("timings.csv has %d rows", len(rows))
+	}
+	wantHeader := []string{"variant", "stage", "seconds", "count"}
+	for i, h := range wantHeader {
+		if rows[0][i] != h {
+			t.Fatalf("header = %v, want %v", rows[0], wantHeader)
+		}
+	}
+	foundWall := false
+	for _, row := range rows[1:] {
+		if row[1] == "wall" {
+			foundWall = true
+		}
+	}
+	if !foundWall {
+		t.Errorf("no wall stage row in %v", rows)
+	}
+
+	// The deterministic artifact must not have absorbed the summary:
+	// result.json carries scenario metrics only, never wall-clock.
+	res, err := os.ReadFile(filepath.Join(runDir, "result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resDoc map[string]any
+	if err := json.Unmarshal(res, &resDoc); err != nil {
+		t.Fatal(err)
+	}
+	for _, volatile := range []string{"perf", "wall_seconds", "elapsed_seconds"} {
+		if _, ok := resDoc[volatile]; ok {
+			t.Errorf("result.json contains volatile key %q", volatile)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"carriersense/internal/montecarlo"
+	"carriersense/internal/obs"
 	"carriersense/internal/plot"
 	"carriersense/internal/sampling"
 )
@@ -82,6 +83,14 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 	Text    string             `json:"-"`
 	Elapsed time.Duration      `json:"-"`
+	// Perf carries the variant's observability data: wall time plus the
+	// delta of every obs registry series across the variant (stage
+	// timings, shard counts, wire bytes, cache traffic). It is
+	// deliberately excluded from result.json — wall-clock values change
+	// run to run, and result.json is byte-compared by the determinism
+	// contract — and lands in the run's metrics.json/timings.csv
+	// instead.
+	Perf map[string]float64 `json:"-"`
 
 	csvs map[string][]byte
 }
@@ -227,6 +236,9 @@ func Run(ctx context.Context, name string, opts Options) ([]*Result, error) {
 		}
 	}
 
+	runStart := time.Now()
+	preSamples := montecarlo.EvaluatedSamples()
+	preSnap := obs.Default().SnapshotFlows()
 	var results []*Result
 	for _, point := range points {
 		res, err := runVariant(ctx, sc, point, scale, opts)
@@ -240,6 +252,20 @@ func Run(ctx context.Context, name string, opts Options) ([]*Result, error) {
 		}
 		results = append(results, res)
 	}
+	if runDir != "" {
+		// The run's observability artifacts live beside the
+		// deterministic ones but are never part of the byte-identity
+		// contract: metrics.json carries the run summary (elapsed,
+		// samples, samples/sec) plus the registry delta, timings.csv the
+		// per-variant per-stage breakdown.
+		if err := writeRunMetrics(runDir, sc.Name, results, runSummary{
+			Elapsed:          time.Since(runStart),
+			EvaluatedSamples: montecarlo.EvaluatedSamples() - preSamples,
+			RegistryDelta:    obs.SnapshotDelta(preSnap, obs.Default().SnapshotFlows()),
+		}); err != nil {
+			return results, err
+		}
+	}
 	if runDir != "" && opts.Stdout != nil {
 		fmt.Fprintf(opts.Stdout, "\nartifacts: %s\n", runDir)
 	}
@@ -249,6 +275,10 @@ func Run(ctx context.Context, name string, opts Options) ([]*Result, error) {
 // boundExecutor forwards estimations to the configured executor under
 // the run's context instead of the context.Background() the kernel
 // entry points pass, so canceling engine.Run cancels distributed work.
+// It is also the engine's estimation-level instrumentation point:
+// every kernel estimation a variant issues is timed into
+// cs_engine_estimate_seconds and, under -trace, emitted as a span on
+// the engine lane.
 type boundExecutor struct {
 	ctx   context.Context
 	inner montecarlo.Executor
@@ -256,7 +286,28 @@ type boundExecutor struct {
 
 // EstimateVec implements montecarlo.Executor.
 func (b boundExecutor) EstimateVec(_ context.Context, req montecarlo.Request) ([]montecarlo.Accumulator, error) {
-	return b.inner.EstimateVec(b.ctx, req)
+	tr := obs.CurrentTracer()
+	var ts time.Duration
+	if tr != nil {
+		ts = tr.Now()
+	}
+	t0 := time.Now()
+	accs, err := b.inner.EstimateVec(b.ctx, req)
+	mEstimateSeconds.Observe(time.Since(t0).Seconds())
+	if tr != nil {
+		tr.Span("estimate", "engine", obs.TidEngine, ts,
+			map[string]any{"kernel": req.Kernel, "samples": req.Samples, "dim": req.Dim})
+	}
+	return accs, err
+}
+
+// localExecutor routes through the in-process pool; installed so the
+// instrumented boundExecutor wraps local runs exactly like remote or
+// cached ones (same semantics as montecarlo's own default executor).
+type localExecutor struct{}
+
+func (localExecutor) EstimateVec(ctx context.Context, req montecarlo.Request) ([]montecarlo.Accumulator, error) {
+	return montecarlo.RunRequest(ctx, req)
 }
 
 // makeRunDir creates a fresh run directory under parent. The stamp is
@@ -324,10 +375,15 @@ func runVariant(ctx context.Context, sc Scenario, point GridPoint, scale string,
 		}
 		exec = driver
 	}
-	if exec != nil {
-		montecarlo.SetExecutor(boundExecutor{ctx: ctx, inner: exec})
-		defer montecarlo.SetExecutor(nil)
+	if exec == nil {
+		exec = localExecutor{}
 	}
+	// Always install the bound, instrumented executor — for local runs
+	// it wraps the same RunRequest path the montecarlo default uses, so
+	// semantics (and results) are unchanged while estimation timings
+	// and run-context cancellation apply uniformly.
+	montecarlo.SetExecutor(boundExecutor{ctx: ctx, inner: exec})
+	defer montecarlo.SetExecutor(nil)
 	params := sc.NewParams()
 	if opts.Seed != "" && HasParam(params, "seed") {
 		if err := SetParam(params, "seed", opts.Seed); err != nil {
@@ -382,6 +438,13 @@ func runVariant(ctx context.Context, sc Scenario, point GridPoint, scale string,
 	if res.Variant != "" {
 		rc.Printf("--- variant: %s ---\n", res.Variant)
 	}
+	tr := obs.CurrentTracer()
+	var ts time.Duration
+	if tr != nil {
+		tr.NameThread(obs.TidEngine, "engine")
+		ts = tr.Now()
+	}
+	pre := obs.Default().SnapshotFlows()
 	start := time.Now()
 	if err := sc.Run(rc); err != nil {
 		return nil, err
@@ -390,6 +453,15 @@ func runVariant(ctx context.Context, sc Scenario, point GridPoint, scale string,
 		recordSampling(rc, driver)
 	}
 	res.Elapsed = time.Since(start)
+	res.Perf = obs.SnapshotDelta(pre, obs.Default().SnapshotFlows())
+	res.Perf["wall_seconds"] = res.Elapsed.Seconds()
+	if tr != nil {
+		label := sc.Name
+		if res.Variant != "" {
+			label += " [" + res.Variant + "]"
+		}
+		tr.Span("variant "+label, "engine", obs.TidEngine, ts, nil)
+	}
 	res.Text = text.String()
 	return res, nil
 }

@@ -33,14 +33,13 @@ const ShardSize = 4096
 // maxWorkers is the configured pool width; 0 means GOMAXPROCS.
 var maxWorkers atomic.Int64
 
-// evaluatedSamples counts integrand evaluations performed by this
+// addEvaluatedSamples counts integrand evaluations performed by this
 // process (every estimator path routes through it), plus any samples
-// executors report via AddEvaluatedSamples. It backs the CLI's
-// samples/sec throughput report.
-var evaluatedSamples atomic.Int64
-
+// executors report via AddEvaluatedSamples. The count lives in the obs
+// registry (cs_mc_samples_evaluated_total, see metrics.go) and backs
+// the CLI's samples/sec throughput report.
 func addEvaluatedSamples(n int) {
-	evaluatedSamples.Add(int64(n))
+	samplesEvaluated.Add(int64(n))
 }
 
 // AddEvaluatedSamples credits samples evaluated on behalf of this
@@ -56,7 +55,7 @@ func AddEvaluatedSamples(n int) {
 // evaluated (or credited) since process start. Snapshot it around a
 // run to compute samples/sec.
 func EvaluatedSamples() int64 {
-	return evaluatedSamples.Load()
+	return samplesEvaluated.Value()
 }
 
 // SetMaxWorkers sets the worker pool width used by all estimators.
@@ -179,7 +178,10 @@ func PlanShards(seed uint64, total int) []Shard {
 // RunShards evaluates fn over every shard using a pool of Workers()
 // goroutines. fn must confine its writes to state owned by the shard
 // index (e.g. accs[shard.Index]); RunShards returns once every shard
-// has been evaluated.
+// has been evaluated. Each evaluation is timed into the registry and,
+// when tracing is on, emitted as a span on its pool worker's lane —
+// the pool only ever decides scheduling, so instrumentation cannot
+// affect results.
 func RunShards(shards []Shard, fn func(Shard)) {
 	workers := Workers()
 	if workers > len(shards) {
@@ -187,7 +189,7 @@ func RunShards(shards []Shard, fn func(Shard)) {
 	}
 	if workers <= 1 {
 		for _, s := range shards {
-			fn(s)
+			instrumentShard(0, s, fn)
 		}
 		return
 	}
@@ -195,16 +197,16 @@ func RunShards(shards []Shard, fn func(Shard)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(shards) {
 					return
 				}
-				fn(shards[i])
+				instrumentShard(w, shards[i], fn)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

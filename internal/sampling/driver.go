@@ -175,6 +175,13 @@ func (d *Driver) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 	d.mu.Lock()
 	d.points = append(d.points, report)
 	d.mu.Unlock()
+	mPoints.Inc()
+	mRounds.Add(int64(report.Rounds))
+	if report.Converged {
+		mConverged.Inc()
+	} else {
+		mCapped.Inc()
+	}
 	return totals, nil
 }
 

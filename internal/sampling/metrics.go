@@ -1,0 +1,18 @@
+package sampling
+
+// Registry handles for the convergence driver. Incremented once per
+// driven point (not per sample), so cost is negligible; the per-sample
+// work is already counted by the montecarlo layer.
+
+import "carriersense/internal/obs"
+
+var (
+	mPoints = obs.Default().Counter("cs_sampling_points_total",
+		"Estimation points driven to a relative-error target.")
+	mRounds = obs.Default().Counter("cs_sampling_rounds_total",
+		"Geometric growth rounds issued across all driven points.")
+	mConverged = obs.Default().Counter("cs_sampling_converged_total",
+		"Driven points that reached their relative-error target.")
+	mCapped = obs.Default().Counter("cs_sampling_capped_total",
+		"Driven points that hit their sample cap still above target.")
+)

@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Distributed smoke test: start two `cs serve` workers on localhost and
-# run one scenario four ways — locally, over the JSON wire, over the
-# binary frame wire, and via -cache -prefetch on the binary wire — then
-# require every run to be byte-identical to the local one. The /stats
-# endpoints must show the traffic actually took the wire under test
-# (shards via JSON POSTs, stream batches via binary frames). CI runs
-# this; it is also handy locally:
+# run one scenario five ways — locally, over the JSON wire, over the
+# binary frame wire, via -cache -prefetch on the binary wire, and with
+# full observability (-trace + -metrics-listen) — then require every
+# run to be byte-identical to the local one. The /stats endpoints must
+# show the traffic actually took the wire under test (shards via JSON
+# POSTs, stream batches via binary frames), the /metrics scrapes must
+# be live Prometheus text, and a SIGTERM'd worker must drain in-flight
+# batches and exit 0. CI runs this; it is also handy locally:
 #
 #   scripts/dist_smoke.sh
+#
+# Set DIST_SMOKE_METRICS=path to keep the observability run's
+# metrics.json after the script's scratch dir is removed (CI uploads
+# it as a build artifact).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,8 +26,9 @@ trap cleanup EXIT
 
 go build -o "$work/cs" ./cmd/cs
 
-"$work/cs" serve -listen 127.0.0.1:18041 &
-"$work/cs" serve -listen 127.0.0.1:18042 &
+"$work/cs" serve -listen 127.0.0.1:18041 2>"$work/worker1.log" &
+worker1=$!
+"$work/cs" serve -listen 127.0.0.1:18042 2>"$work/worker2.log" &
 
 for port in 18041 18042; do
   ok=""
@@ -109,4 +116,78 @@ if [ "${fetched:-0}" -eq 0 ]; then
 fi
 grep '^prefetch:' "$prefetch_log"
 
-echo "distributed smoke OK: '$scenario' is bit-identical across 2 workers on both wires (+prefetch, $fetched estimations warmed)"
+# Observability run: a Perfetto trace plus a live coordinator /metrics
+# endpoint, still byte-identical to the local run — instrumentation
+# must be observationally inert.
+"$work/cs" run "$scenario" -scale smoke -seed 7 -quiet \
+  -workers "$fleet" -wire binary \
+  -trace "$work/trace.json" -metrics-listen 127.0.0.1:18049 \
+  -out "$work/traced"
+require_identical "$work/traced" "traced"
+if ! grep -q '"traceEvents"' "$work/trace.json"; then
+  echo "-trace wrote no trace_event document" >&2
+  exit 1
+fi
+traced_dir=$(echo "$work"/traced/*)
+for f in metrics.json timings.csv; do
+  if [ ! -s "$traced_dir/$f" ]; then
+    echo "observability run left no $f" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"evaluated_samples"' "$traced_dir/metrics.json"; then
+  echo "metrics.json lacks the run summary:" >&2
+  cat "$traced_dir/metrics.json" >&2
+  exit 1
+fi
+if [ -n "${DIST_SMOKE_METRICS:-}" ]; then
+  cp "$traced_dir/metrics.json" "$DIST_SMOKE_METRICS"
+fi
+
+# Worker /metrics must be Prometheus text with live counters: after
+# the runs above, evaluated shards must show up in the scrape.
+metrics_shards=0
+for port in 18041 18042; do
+  scrape=$(curl -sf "http://127.0.0.1:$port/metrics")
+  for family in cs_worker_requests_total cs_worker_shards_total \
+    cs_worker_inflight_batches cs_worker_batch_eval_seconds; do
+    if ! echo "$scrape" | grep -q "^# TYPE $family "; then
+      echo "worker :$port /metrics lacks $family; scrape was:" >&2
+      echo "$scrape" >&2
+      exit 1
+    fi
+  done
+  v=$(echo "$scrape" | grep '^cs_worker_shards_total ' | cut -d' ' -f2 | cut -d. -f1)
+  metrics_shards=$((metrics_shards + ${v:-0}))
+done
+if [ "$metrics_shards" -eq 0 ]; then
+  echo "worker /metrics shard counters are zero after distributed runs" >&2
+  exit 1
+fi
+
+# Graceful drain: /stats must expose the drain surface, and a SIGTERM'd
+# worker must finish in-flight batches and exit 0 with the drain notice.
+stats=$(curl -sf "http://127.0.0.1:18041/stats")
+for field in uptime_seconds inflight_batches draining; do
+  if ! echo "$stats" | grep -q "\"$field\""; then
+    echo "/stats lacks \"$field\": $stats" >&2
+    exit 1
+  fi
+done
+if ! echo "$stats" | grep -q '"draining":false'; then
+  echo "idle worker reports draining: $stats" >&2
+  exit 1
+fi
+kill -TERM "$worker1"
+if ! wait "$worker1"; then
+  echo "SIGTERM'd worker exited non-zero" >&2
+  cat "$work/worker1.log" >&2
+  exit 1
+fi
+if ! grep -q 'drained in-flight shard batches and stopped' "$work/worker1.log"; then
+  echo "worker stderr lacks the drain notice:" >&2
+  cat "$work/worker1.log" >&2
+  exit 1
+fi
+
+echo "distributed smoke OK: '$scenario' is bit-identical across 2 workers on both wires (+prefetch, $fetched estimations warmed; +trace/metrics inert, $metrics_shards shards scraped, drain clean)"
