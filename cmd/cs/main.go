@@ -38,6 +38,7 @@ import (
 	"carriersense/internal/dist"
 	"carriersense/internal/engine"
 	_ "carriersense/internal/experiments" // registers the scenario catalog
+	"carriersense/internal/fault"
 	"carriersense/internal/montecarlo"
 	"carriersense/internal/obs"
 	"carriersense/internal/sampling"
@@ -88,6 +89,16 @@ commands:
   cs cache stats|clear      inspect or empty the persistent result cache
   cs help <scenario>        describe one scenario and its parameters
 
+serve flags:
+  -listen ADDR   listen address (default :8031)
+  -parallel N    per-request worker pool width (default GOMAXPROCS)
+  -fault SPEC    deterministic fault schedule for chaos testing:
+                 comma-separated target:kind[@batchN][=value] rules
+                 plus an optional seed=N, e.g.
+                 'worker1:crash@batch3,worker2:slow=200ms,seed=7'
+                 (kinds: crash, slow, corrupt, truncate, refuse, flip)
+  -fault-id NAME which schedule target this worker answers to
+
 run/all flags:
   -seed S        override the scenario's Seed parameter
   -scale LEVEL   sampling effort: smoke, bench (default), or full
@@ -115,6 +126,20 @@ run/all flags:
                  with -workers: re-dispatch a shard batch unanswered
                  for D (e.g. 30s) to another worker; 0 (default) lets
                  batches run as long as their kernels do
+  -hedge Q       with -workers: hedged dispatch — once the queue is
+                 empty, an idle worker duplicates any batch in flight
+                 longer than 2x the fastest worker's Q-quantile batch
+                 latency; first result wins (bit-identical either way);
+                 0 (default) disables hedging
+  -readmit-base D
+                 with -workers: base delay for the background /healthz
+                 probes that readmit a dead worker (exponential backoff
+                 with jitter; a healed worker rejoins even mid-run);
+                 0 = 500ms default, negative disables readmission
+  -fault SPEC    arm the deterministic fault-injection layer in this
+                 process for rules targeting coord or cache, e.g.
+                 -fault 'cache:flip=1,seed=7' (testing only; worker
+                 rules belong on cs serve -fault ... -fault-id NAME)
   -cache         serve repeated kernel estimations from the result
                  cache (bit-identical to evaluating); persists across
                  runs under the cache directory
@@ -198,6 +223,9 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 	workers := fs.String("workers", "", "distribute shards over cs serve workers (host:port,host:port,...)")
 	wire := fs.String("wire", "auto", "shard transport with -workers: auto, json, or binary")
 	shardTimeout := fs.Duration("shard-timeout", 0, "re-dispatch a shard batch unanswered for this long (0 = no deadline)")
+	hedge := fs.Float64("hedge", 0, "with -workers: speculatively re-dispatch batches slower than this latency quantile (0 = off)")
+	readmitBase := fs.Duration("readmit-base", 0, "with -workers: base probe delay for readmitting dead workers (0 = default; negative = off)")
+	faultSpec := fs.String("fault", "", "deterministic fault schedule for this coordinator process (testing; see internal/fault)")
 	useCache := fs.Bool("cache", false, "serve repeated kernel estimations from the persistent result cache")
 	prefetch := fs.Bool("prefetch", false, "with -cache: evaluate every predicted cache miss before the real run")
 	cacheDir := fs.String("cache-dir", "", "persistent cache directory (default: user cache dir)")
@@ -229,6 +257,27 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 		if *shardTimeout < 0 {
 			return cfg, fmt.Errorf("-shard-timeout must be >= 0, got %v", *shardTimeout)
 		}
+		if *hedge < 0 || *hedge >= 1 {
+			return cfg, fmt.Errorf("-hedge must be a quantile in [0, 1), got %g", *hedge)
+		}
+		if *faultSpec != "" {
+			// Coordinator-side faults: rules targeting "coord" (fleet
+			// seams) or "cache" (disk-load bit flips). Worker-side rules
+			// in the same schedule are inert here and belong on the
+			// matching `cs serve -fault ... -fault-id <name>`.
+			sched, err := fault.Parse(*faultSpec)
+			if err != nil {
+				return cfg, err
+			}
+			if p := sched.Plan("coord", "cache"); p != nil {
+				fault.Install(p)
+				fmt.Fprintf(os.Stderr, "fault injection armed: %s\n", p)
+			}
+		}
+		readmit := *readmitBase
+		if readmit < 0 {
+			readmit = dist.ReadmitOff
+		}
 		if *workers != "" {
 			hosts, err := dist.ParseWorkerList(*workers)
 			if err != nil {
@@ -236,6 +285,7 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 			}
 			remote, err := dist.NewRemote(hosts, dist.RemoteOptions{
 				Wire: wireMode, ShardTimeout: *shardTimeout,
+				HedgeQuantile: *hedge, ReadmitBase: readmit,
 			})
 			if err != nil {
 				return cfg, err
@@ -245,6 +295,10 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 			return cfg, fmt.Errorf("-wire requires -workers")
 		} else if *shardTimeout != 0 {
 			return cfg, fmt.Errorf("-shard-timeout requires -workers")
+		} else if *hedge != 0 {
+			return cfg, fmt.Errorf("-hedge requires -workers")
+		} else if *readmitBase != 0 {
+			return cfg, fmt.Errorf("-readmit-base requires -workers")
 		}
 		if err := sampling.Validate(opts.Sampler); err != nil {
 			return cfg, err
@@ -397,6 +451,14 @@ func runAndReport(cfg runConfig, fn func() error) error {
 			st := cfg.cache.Stats()
 			fmt.Fprintf(os.Stderr, "cache: %d hits, %d disk hits, %d misses (%d entries in memory, %d disk evictions)\n",
 				st.Hits, st.DiskHits, st.Misses, st.Entries, st.DiskEvictions)
+		}
+	}
+	// Integrity damage is reported even under -quiet: a quarantined
+	// entry means bits rotted on disk, which the operator should see
+	// regardless of how chatty the run is.
+	if cfg.cache != nil {
+		if st := cfg.cache.Stats(); st.Corrupt > 0 {
+			fmt.Fprintf(os.Stderr, "cache: %d corrupt disk entries quarantined and recomputed\n", st.Corrupt)
 		}
 	}
 	return runErr
@@ -611,6 +673,9 @@ func cmdCache(args []string) error {
 			return err
 		}
 		fmt.Printf("cache dir: %s\nentries:   %d\nsize:      %d bytes\n", st.Dir, st.Entries, st.Bytes)
+		if st.Quarantined > 0 {
+			fmt.Printf("quarantined: %d corrupt entries under %s/\n", st.Quarantined, cache.QuarantineDir)
+		}
 		return nil
 	case "clear":
 		removed, err := cache.ClearDir(dir)
@@ -700,12 +765,30 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", ":8031", "listen address (host:port)")
 	parallel := fs.Int("parallel", 0, "per-request worker pool width (0 = GOMAXPROCS)")
+	faultSpec := fs.String("fault", "", "deterministic fault schedule for this worker (testing; see internal/fault)")
+	faultID := fs.String("fault-id", "", "name this worker answers to in the -fault schedule")
 	fs.Usage = func() { usage(fs.Output()) }
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 1 (or 0 for the GOMAXPROCS default), got %d", *parallel)
+	}
+	if *faultID != "" && *faultSpec == "" {
+		return fmt.Errorf("-fault-id requires -fault")
+	}
+	if *faultSpec != "" {
+		if *faultID == "" {
+			return fmt.Errorf("-fault requires -fault-id so this worker knows which schedule rules are its own")
+		}
+		sched, err := fault.Parse(*faultSpec)
+		if err != nil {
+			return err
+		}
+		if p := sched.Plan(*faultID); p != nil {
+			fault.Install(p)
+			fmt.Fprintf(os.Stderr, "fault injection armed for %s: %s\n", *faultID, p)
+		}
 	}
 	if *parallel > 0 {
 		if err := montecarlo.SetMaxWorkers(*parallel); err != nil {

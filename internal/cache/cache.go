@@ -30,13 +30,18 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"carriersense/internal/fault"
 	"carriersense/internal/montecarlo"
 )
 
@@ -69,6 +74,7 @@ type Stats struct {
 	Evictions     int64 // in-memory LRU evictions
 	DiskEvictions int64 // persistent-layer LRU evictions (MaxBytes bound)
 	WriteFails    int64 // best-effort disk writes that failed
+	Corrupt       int64 // disk entries that failed integrity checks (quarantined)
 	Entries       int   // current in-memory entry count
 }
 
@@ -287,7 +293,103 @@ func (e *Executor) diskPath(key string) string {
 	return filepath.Join(e.dir, key+".json")
 }
 
-// loadDisk consults the persistent layer; any mismatch or error is a
+// Disk-entry integrity. Every entry starts with one header line —
+//
+//	CSC1 <crc32c hex8> <payload length>\n
+//
+// followed by the JSON payload and a trailing newline. The checksum
+// (CRC-32 Castagnoli over the payload) is verified on every load:
+// cache entries are IEEE-754 bit patterns served *as results*, so a
+// flipped bit on disk that still parsed as JSON would corrupt an
+// estimation silently. A failed check reads as a miss, never a wrong
+// answer, and the damaged file is quarantined out of the entry
+// namespace for postmortems instead of being re-served forever.
+const (
+	entryMagic = "CSC1"
+	// QuarantineDir is the sidecar directory (under the cache dir)
+	// that corrupt entries are moved to. As a subdirectory it is
+	// invisible to isEntryName-based scans (StatDir, EvictDir,
+	// ClearDir), so quarantined files never count against the disk
+	// budget or get re-read as entries.
+	QuarantineDir = "quarantine"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errLegacyEntry marks a pre-checksum entry file (bare JSON). Legacy
+// entries miss silently — they are not damage, just an older format —
+// and the store-through on the recomputed result overwrites them.
+var errLegacyEntry = errors.New("cache: legacy headerless entry")
+
+// sealEntry frames a payload in the checksummed on-disk format.
+func sealEntry(payload []byte) []byte {
+	header := fmt.Sprintf("%s %08x %d\n", entryMagic, crc32.Checksum(payload, crcTable), len(payload))
+	out := make([]byte, 0, len(header)+len(payload)+1)
+	out = append(out, header...)
+	out = append(out, payload...)
+	return append(out, '\n')
+}
+
+// openEntry verifies an entry file's header and checksum and returns
+// the JSON payload. Any structural damage — missing or malformed
+// header, a length that disagrees with the file, a checksum mismatch
+// — is an error the caller must treat as corruption.
+func openEntry(data []byte) ([]byte, error) {
+	if len(data) > 0 && data[0] == '{' {
+		return nil, errLegacyEntry
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, errors.New("cache: entry missing header line")
+	}
+	fields := strings.Fields(string(data[:nl]))
+	if len(fields) != 3 || fields[0] != entryMagic {
+		return nil, fmt.Errorf("cache: bad entry header %q", string(data[:nl]))
+	}
+	wantCRC, err := strconv.ParseUint(fields[1], 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("cache: bad entry checksum %q", fields[1])
+	}
+	wantLen, err := strconv.Atoi(fields[2])
+	if err != nil || wantLen < 0 {
+		return nil, fmt.Errorf("cache: bad entry length %q", fields[2])
+	}
+	rest := data[nl+1:]
+	if len(rest) != wantLen+1 || rest[wantLen] != '\n' {
+		return nil, fmt.Errorf("cache: entry payload is %d bytes, header says %d", len(rest)-1, wantLen)
+	}
+	payload := rest[:wantLen]
+	if got := crc32.Checksum(payload, crcTable); got != uint32(wantCRC) {
+		return nil, fmt.Errorf("cache: entry checksum %08x, header says %08x", got, uint32(wantCRC))
+	}
+	return payload, nil
+}
+
+// quarantine moves a corrupt entry into the sidecar directory (or
+// removes it if the move fails) and counts the corruption. Racing
+// loaders both try; only the one that actually displaces the file
+// counts it.
+func (e *Executor) quarantine(key string) {
+	qdir := filepath.Join(e.dir, QuarantineDir)
+	displaced := false
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		displaced = os.Rename(e.diskPath(key), filepath.Join(qdir, key+".json")) == nil
+	}
+	if !displaced {
+		displaced = os.Remove(e.diskPath(key)) == nil
+	}
+	if !displaced {
+		return
+	}
+	e.mu.Lock()
+	e.stats.Corrupt++
+	e.mu.Unlock()
+	mCorrupt.Inc()
+}
+
+// loadDisk consults the persistent layer. A structurally damaged
+// entry is quarantined and reads as a miss; a healthy entry whose
+// request fields mismatch (hash collision, foreign file) is a plain
 // miss.
 func (e *Executor) loadDisk(key string, req montecarlo.Request) ([]montecarlo.AccumulatorState, bool) {
 	if e.dir == "" {
@@ -297,8 +399,19 @@ func (e *Executor) loadDisk(key string, req montecarlo.Request) ([]montecarlo.Ac
 	if err != nil {
 		return nil, false
 	}
+	if f := fault.Current(); f != nil {
+		data = f.MangleCacheLoad(data)
+	}
+	payload, perr := openEntry(data)
+	if errors.Is(perr, errLegacyEntry) {
+		return nil, false
+	}
 	var de diskEntry
-	if err := json.Unmarshal(data, &de); err != nil {
+	if perr == nil {
+		perr = json.Unmarshal(payload, &de)
+	}
+	if perr != nil {
+		e.quarantine(key)
 		return nil, false
 	}
 	if de.Kernel != req.Kernel || de.Seed != req.Seed ||
@@ -342,7 +455,7 @@ func (e *Executor) saveDisk(key string, req montecarlo.Request, states []monteca
 		if err != nil {
 			return err
 		}
-		n, err := tmp.Write(append(data, '\n'))
+		n, err := tmp.Write(sealEntry(data))
 		if err != nil {
 			tmp.Close()
 			os.Remove(tmp.Name())
@@ -475,13 +588,15 @@ func isEntryName(name string) bool {
 
 // DirStats summarizes a persistent cache directory.
 type DirStats struct {
-	Dir     string
-	Entries int
-	Bytes   int64
+	Dir         string
+	Entries     int
+	Bytes       int64
+	Quarantined int // corrupt entries parked in the quarantine sidecar
 }
 
 // StatDir reports the entry count and total size of a persistent cache
-// directory. A missing directory is an empty cache, not an error.
+// directory, plus how many corrupt entries sit in its quarantine
+// sidecar. A missing directory is an empty cache, not an error.
 func StatDir(dir string) (DirStats, error) {
 	st := DirStats{Dir: dir}
 	items, err := os.ReadDir(dir)
@@ -501,6 +616,13 @@ func StatDir(dir string) (DirStats, error) {
 		}
 		st.Entries++
 		st.Bytes += info.Size()
+	}
+	if qItems, err := os.ReadDir(filepath.Join(dir, QuarantineDir)); err == nil {
+		for _, it := range qItems {
+			if !it.IsDir() && isEntryName(it.Name()) {
+				st.Quarantined++
+			}
+		}
 	}
 	return st, nil
 }

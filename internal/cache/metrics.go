@@ -20,6 +20,8 @@ var (
 		"Persistent-layer LRU evictions under the disk byte budget.")
 	mWriteFails = obs.Default().Counter("cs_cache_write_fails_total",
 		"Best-effort persistent cache writes that failed.")
+	mCorrupt = obs.Default().Counter("cs_cache_corrupt_total",
+		"Disk entries that failed integrity verification and were quarantined.")
 	mPrefetchFills = obs.Default().Counter("cs_cache_prefetch_fills_total",
 		"Cache entries filled by plan-driven prefetch passes.")
 	mLookupSeconds = obs.Default().Histogram("cs_cache_lookup_seconds",

@@ -180,15 +180,22 @@ func TestWorkerDeadFromTheStart(t *testing.T) {
 }
 
 func TestDeadWorkerStaysAbandonedAcrossEstimations(t *testing.T) {
-	// Worker health persists for the Remote's lifetime: a scenario with
-	// many estimation points must pay the death-detection cost once,
-	// not re-probe the corpse at every point.
+	// With readmission off, worker health persists for the Remote's
+	// lifetime: a scenario with many estimation points must pay the
+	// death-detection cost once, not re-probe the corpse at every
+	// point. (Default readmission probes /healthz in the background —
+	// readmit_test.go covers that path.)
 	flaky := &flakyWorker{inner: dist.NewServer(), survives: 0}
 	flakySrv := httptest.NewServer(flaky)
 	defer flakySrv.Close()
 	hosts := append(startWorkers(t, 1), strings.TrimPrefix(flakySrv.URL, "http://"))
+	// HostFailLimit 1 so the very first abort kills the host; with a
+	// higher limit the healthy worker can drain the queue while the
+	// flaky loop sits in its jittered retry backoff, ending the run
+	// before the limit is ever reached.
 	remote, err := dist.NewRemote(hosts, dist.RemoteOptions{
-		BatchSize: 1, Concurrency: 1, HostFailLimit: 2, Wire: dist.WireJSON,
+		BatchSize: 1, Concurrency: 1, HostFailLimit: 1, Wire: dist.WireJSON,
+		ReadmitBase: dist.ReadmitOff,
 	})
 	if err != nil {
 		t.Fatal(err)

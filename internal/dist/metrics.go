@@ -24,6 +24,12 @@ var (
 		"Batches abandoned because no answer arrived within -shard-timeout.")
 	mWorkersAbandoned = obs.Default().Counter("cs_dist_workers_abandoned_total",
 		"Workers declared dead and removed from the fleet for a run.")
+	mProbes = obs.Default().Counter("cs_dist_readmit_probes_total",
+		"Readmission health probes sent to dead workers.")
+	mWorkersReadmitted = obs.Default().Counter("cs_dist_workers_readmitted_total",
+		"Dead workers restored to the fleet after a successful trial batch.")
+	mHedges = obs.Default().Counter("cs_dist_hedges_total",
+		"Overdue batches speculatively re-dispatched to a second worker.")
 	mBytesBinaryTx = obs.Default().Counter("cs_dist_wire_bytes_total",
 		"Shard-protocol bytes moved, by wire format and direction.",
 		obs.Label{Key: "wire", Value: "binary"}, obs.Label{Key: "dir", Value: "tx"})

@@ -1,0 +1,248 @@
+package dist_test
+
+// Fleet self-healing contract tests: a dead worker is probed back into
+// the fleet (between runs and mid-run), hedged dispatch completes a
+// run around a wedged straggler, and a run that dies names every
+// worker that contributed to its death. Every healed/hedged run must
+// stay bit-identical to the local evaluation.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"carriersense/internal/dist"
+	"carriersense/internal/montecarlo"
+)
+
+// healingWorker severs every connection while sick — a crashed worker
+// process, as seen from the coordinator — and serves normally once
+// healed.
+type healingWorker struct {
+	inner   http.Handler
+	healthy atomic.Bool
+	shards  atomic.Int64 // shard requests served while healthy
+}
+
+func (hw *healingWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !hw.healthy.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	if r.URL.Path == dist.PathShards {
+		hw.shards.Add(1)
+	}
+	hw.inner.ServeHTTP(w, r)
+}
+
+func mustIdentical(t *testing.T, accs []montecarlo.Accumulator, want []montecarlo.Estimate, what string) {
+	t.Helper()
+	got := estimates(accs)
+	for j := range got {
+		if got[j] != want[j] {
+			t.Errorf("%s: component %d: %+v != local %+v", what, j, got[j], want[j])
+		}
+	}
+}
+
+func TestDeadWorkerReadmittedAfterHeal(t *testing.T) {
+	req := testRequest(t, 6*montecarlo.ShardSize)
+	local, err := dist.Local{}.EstimateVec(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := estimates(local)
+
+	hw := &healingWorker{inner: dist.NewServer()}
+	srv := httptest.NewServer(hw)
+	defer srv.Close()
+	hosts := append(startWorkers(t, 1), strings.TrimPrefix(srv.URL, "http://"))
+	remote, err := dist.NewRemote(hosts, dist.RemoteOptions{
+		BatchSize: 1, Concurrency: 1, HostFailLimit: 1, Wire: dist.WireJSON,
+		ReadmitBase: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	// First estimation: the sick worker aborts its first batch, is
+	// abandoned, and the healthy worker carries the run.
+	accs, err := remote.EstimateVec(context.Background(), req)
+	if err != nil {
+		t.Fatalf("estimation with a sick worker failed: %v", err)
+	}
+	mustIdentical(t, accs, want, "sick-worker run")
+	if hw.shards.Load() != 0 {
+		t.Fatalf("sick worker served %d shard requests; test setup broken", hw.shards.Load())
+	}
+
+	// Heal. The background probe should move the worker to half-open,
+	// and a subsequent estimation should route real work through it.
+	hw.healthy.Store(true)
+	deadline := time.Now().Add(10 * time.Second)
+	for hw.shards.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("healed worker was never readmitted to the fleet")
+		}
+		accs, err := remote.EstimateVec(context.Background(), req)
+		if err != nil {
+			t.Fatalf("estimation while awaiting readmission failed: %v", err)
+		}
+		mustIdentical(t, accs, want, "post-heal run")
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// slowWorker delays every shard request so a run lasts long enough for
+// mid-run events to land inside it.
+type slowWorker struct {
+	inner http.Handler
+	delay time.Duration
+}
+
+func (sw *slowWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == dist.PathShards {
+		time.Sleep(sw.delay)
+	}
+	sw.inner.ServeHTTP(w, r)
+}
+
+func TestReadmittedWorkerJoinsRunInFlight(t *testing.T) {
+	req := testRequest(t, 36*montecarlo.ShardSize)
+	local, err := dist.Local{}.EstimateVec(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := estimates(local)
+
+	slow := httptest.NewServer(&slowWorker{inner: dist.NewServer(), delay: 20 * time.Millisecond})
+	defer slow.Close()
+	hw := &healingWorker{inner: dist.NewServer()}
+	hwSrv := httptest.NewServer(hw)
+	defer hwSrv.Close()
+
+	remote, err := dist.NewRemote(
+		[]string{strings.TrimPrefix(slow.URL, "http://"), strings.TrimPrefix(hwSrv.URL, "http://")},
+		dist.RemoteOptions{
+			BatchSize: 1, Concurrency: 1, HostFailLimit: 1, Wire: dist.WireJSON,
+			ReadmitBase: 10 * time.Millisecond,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	// Heal the dead worker while the slow worker is still grinding
+	// through the plan; the readmission probe should bring it back into
+	// *this* run, not just the next one.
+	healTimer := time.AfterFunc(50*time.Millisecond, func() { hw.healthy.Store(true) })
+	defer healTimer.Stop()
+
+	accs, err := remote.EstimateVec(context.Background(), req)
+	if err != nil {
+		t.Fatalf("estimation with mid-run readmission failed: %v", err)
+	}
+	mustIdentical(t, accs, want, "mid-run readmission")
+	if hw.shards.Load() == 0 {
+		t.Error("readmitted worker served no shards in the run it rejoined")
+	}
+}
+
+// stallingWorker serves normally until stalled, after which shard
+// requests block on the gate — a wedged-but-connected worker.
+type stallingWorker struct {
+	inner   http.Handler
+	stall   atomic.Bool
+	gate    chan struct{}
+	stalled atomic.Int64
+}
+
+func (gw *stallingWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == dist.PathShards && gw.stall.Load() {
+		gw.stalled.Add(1)
+		<-gw.gate
+	}
+	gw.inner.ServeHTTP(w, r)
+}
+
+func TestHedgingCompletesAroundWedgedStraggler(t *testing.T) {
+	req := testRequest(t, 24*montecarlo.ShardSize)
+	local, err := dist.Local{}.EstimateVec(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := estimates(local)
+
+	gw := &stallingWorker{inner: dist.NewServer(), gate: make(chan struct{})}
+	srv := httptest.NewServer(gw)
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { close(gw.gate) }) // unblock before srv.Close waits on handlers
+
+	hosts := append(startWorkers(t, 1), strings.TrimPrefix(srv.URL, "http://"))
+	remote, err := dist.NewRemote(hosts, dist.RemoteOptions{
+		BatchSize: 1, Concurrency: 1, Wire: dist.WireJSON,
+		HedgeQuantile: 0.9, ReadmitBase: dist.ReadmitOff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm-up: a healthy run seeds the per-worker latency histograms
+	// past the observation floor hedging needs for its threshold.
+	accs, err := remote.EstimateVec(context.Background(), req)
+	if err != nil {
+		t.Fatalf("warm-up estimation failed: %v", err)
+	}
+	mustIdentical(t, accs, want, "warm-up")
+
+	// Wedge one worker and re-run: it claims a batch and never answers.
+	// Without hedging this run blocks until the gate opens; with it, the
+	// healthy worker duplicates the overdue batch and finishes the run.
+	gw.stall.Store(true)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		accs, err := remote.EstimateVec(context.Background(), req)
+		if err != nil {
+			t.Errorf("hedged estimation failed: %v", err)
+			return
+		}
+		mustIdentical(t, accs, want, "hedged run")
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("hedged run did not complete while the straggler stayed wedged")
+	}
+	if gw.stalled.Load() == 0 {
+		t.Fatal("straggler never wedged; test exercised nothing")
+	}
+}
+
+func TestRunFailureNamesEveryWorkersCause(t *testing.T) {
+	var hosts []string
+	for i := 0; i < 2; i++ {
+		srv := httptest.NewServer(dist.NewServer())
+		hosts = append(hosts, strings.TrimPrefix(srv.URL, "http://"))
+		srv.Close() // connection refused from the start
+	}
+	remote, err := dist.NewRemote(hosts, dist.RemoteOptions{
+		HostFailLimit: 1, ReadmitBase: dist.ReadmitOff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = remote.EstimateVec(context.Background(), testRequest(t, 4*montecarlo.ShardSize))
+	if err == nil {
+		t.Fatal("run over an all-dead fleet succeeded")
+	}
+	for _, h := range hosts {
+		if !strings.Contains(err.Error(), h) {
+			t.Errorf("terminal error does not name worker %s:\n%v", h, err)
+		}
+	}
+}

@@ -57,6 +57,43 @@ const (
 	// hosts are detected here, never by capping how long a legitimate
 	// shard batch may compute.
 	dialTimeout = 10 * time.Second
+	// DefaultReadmitBase is the readmission probe loop's base delay
+	// when ReadmitBase is zero: the first /healthz probe of a dead
+	// worker fires about this long after abandonment, doubling (with
+	// jitter) per failed probe up to readmitMaxBackoff.
+	DefaultReadmitBase = 500 * time.Millisecond
+	// ReadmitOff disables dead-worker readmission (RemoteOptions
+	// .ReadmitBase): abandoned workers stay abandoned for the
+	// Remote's lifetime, the pre-readmission behavior.
+	ReadmitOff = time.Duration(-1)
+	// readmitMaxBackoff caps the probe interval so a worker that
+	// comes back after a long outage is still noticed within ~30s.
+	readmitMaxBackoff = 30 * time.Second
+	// probeTimeout bounds one /healthz probe round trip.
+	probeTimeout = 5 * time.Second
+	// dialRetryBase paces a live worker's consecutive transport
+	// failures: ~dialRetryBase after the first failure, doubling with
+	// jitter up to dialRetryMax, so a restarting fleet sees staggered
+	// reconnects instead of a synchronized stampede from every
+	// coordinator loop.
+	dialRetryBase = 50 * time.Millisecond
+	dialRetryMax  = 2 * time.Second
+	// Hedging thresholds: a batch is re-dispatched speculatively once
+	// it has been in flight hedgeFactor times longer than the fastest
+	// worker's HedgeQuantile batch latency (floored at hedgeDelayMin;
+	// no hedging until some worker has hedgeMinObservations batches).
+	hedgeFactor          = 2.0
+	hedgeDelayMin        = 25 * time.Millisecond
+	hedgeMinObservations = 8
+	// maxHedgesPerShard bounds speculative duplicates of one shard so
+	// a pathologically slow fleet cannot ping-pong a batch forever.
+	maxHedgesPerShard = 2
+	// loopDrainGrace is how long a successful run waits for its host
+	// goroutines to exit on their own before severing them. Healthy
+	// loops park their streams in microseconds; the grace is only ever
+	// paid when a hedge completed the run around a worker still wedged
+	// in a request that nothing but a cancel will unblock.
+	loopDrainGrace = 50 * time.Millisecond
 )
 
 // Wire selects the shard transport.
@@ -119,18 +156,54 @@ type RemoteOptions struct {
 	// not stall a run — re-dispatch cannot corrupt results, because
 	// duplicate shard completions merge idempotently (first one wins).
 	ShardTimeout time.Duration
+	// ReadmitBase paces dead-worker readmission: an abandoned worker
+	// gets a background /healthz probe loop with exponential backoff
+	// and jitter starting from this base. A probe that answers 200
+	// moves the worker to a half-open state that admits one trial
+	// batch; the trial's success restores the worker, its failure
+	// re-kills it with a longer backoff. 0 selects
+	// DefaultReadmitBase; ReadmitOff (negative) disables readmission.
+	ReadmitBase time.Duration
+	// HedgeQuantile, when in (0, 1), arms hedged dispatch: a batch in
+	// flight longer than hedgeFactor x the fastest worker's
+	// HedgeQuantile batch latency (from the cs_dist_batch_seconds
+	// histograms) is speculatively re-dispatched to an idle worker,
+	// and the first result wins (completions are idempotent, so the
+	// duplicate is bit-identical and harmless). 0 disables hedging.
+	HedgeQuantile float64
 }
 
 // Remote is an Executor that distributes shard evaluation over a fleet
 // of `cs serve` workers. Safe for concurrent use. Worker health and
 // negotiated wire persist across estimations: a worker declared dead
-// stays abandoned for the Remote's lifetime (one `cs run`), and a
-// worker that negotiated down to JSON is not re-probed per
-// estimation. Binary streams are pooled per worker, so consecutive
-// estimations reuse connections instead of re-handshaking.
+// is probed for readmission in the background (unless ReadmitOff) and
+// rejoins even mid-estimation, and a worker that negotiated down to
+// JSON is not re-probed per estimation. Binary streams are pooled per
+// worker, so consecutive estimations reuse connections instead of
+// re-handshaking.
 type Remote struct {
 	hosts []*hostState
 	opt   RemoteOptions
+
+	mu     sync.Mutex
+	active map[*dispatch]*runState // in-flight estimations readmitted workers can join
+
+	closed    chan struct{} // stops probe loops (Close)
+	closeOnce sync.Once
+}
+
+// runState is what a readmitted worker needs to join an in-flight
+// estimation: its context and request identity.
+type runState struct {
+	ctx context.Context
+	req montecarlo.Request
+}
+
+// Close stops the background readmission probes. Estimations in
+// flight are unaffected; the Remote remains usable, but dead workers
+// are no longer probed. Safe to call more than once.
+func (r *Remote) Close() {
+	r.closeOnce.Do(func() { close(r.closed) })
 }
 
 // NewRemote builds a Remote executor over the given host:port workers
@@ -155,6 +228,12 @@ func NewRemote(hosts []string, opts ...RemoteOptions) (*Remote, error) {
 	if opt.MaxAttempts <= 0 {
 		opt.MaxAttempts = (opt.HostFailLimit+opt.Concurrency)*len(hosts) + 1
 	}
+	if opt.ReadmitBase == 0 {
+		opt.ReadmitBase = DefaultReadmitBase
+	}
+	if opt.HedgeQuantile < 0 || opt.HedgeQuantile >= 1 {
+		return nil, fmt.Errorf("dist: hedge quantile must be in [0, 1), got %g", opt.HedgeQuantile)
+	}
 	if opt.Client == nil {
 		// No overall request timeout: a shard batch legitimately takes
 		// as long as its kernel does (minutes at -scale full), and a
@@ -168,7 +247,7 @@ func NewRemote(hosts []string, opts ...RemoteOptions) (*Remote, error) {
 			},
 		}
 	}
-	r := &Remote{opt: opt}
+	r := &Remote{opt: opt, active: map[*dispatch]*runState{}, closed: make(chan struct{})}
 	for i, h := range hosts {
 		if h == "" {
 			return nil, fmt.Errorf("dist: empty worker address")
@@ -234,19 +313,47 @@ type dispatch struct {
 	remaining int                        // shards not yet completed
 	loops     int                        // host goroutines still running
 	err       error                      // first fatal error; ends the run
+
+	// Failure forensics: the latest cause per worker, bounded, so the
+	// terminal error names every distinct worker that contributed to
+	// the run's death instead of only the last one.
+	causes     map[string]string
+	causeOrder []string
+
+	// Hedging (nil hedgeDelay = off): outstanding batches by shard
+	// index, so an idle worker can speculatively duplicate the oldest
+	// overdue batch of a slower peer.
+	hedgeDelay func() time.Duration // current threshold; <= 0 = not enough data yet
+	inflight   map[int]*flight
+	hedges     map[int]int // per-shard speculative duplicates issued
+	hedgeTimer *time.Timer // wakes waiters when the oldest flight ripens
+}
+
+// flight is one outstanding batch dispatch.
+type flight struct {
+	indices []int
+	worker  string
+	sent    time.Time
+	hedged  bool // already duplicated once; per-shard hedges cap the rest
 }
 
 // newDispatch prepares the queue for shards [first, count) — the
 // request's planned range (first > 0 for the convergence driver's
 // delta requests). The bookkeeping arrays stay plan-indexed so shard
 // indices never need translating.
-func newDispatch(first, count, loops int) *dispatch {
+func newDispatch(first, count, loops int, hedgeDelay func() time.Duration) *dispatch {
 	d := &dispatch{
 		pending:   make([]int, count-first),
 		attempts:  make([]int, count),
 		results:   make([][]montecarlo.Accumulator, count),
 		remaining: count - first,
 		loops:     loops,
+		causes:    map[string]string{},
+	}
+	if hedgeDelay != nil {
+		d.hedgeDelay = hedgeDelay
+		d.inflight = map[int]*flight{}
+		d.hedges = map[int]int{}
 	}
 	for i := range d.pending {
 		d.pending[i] = first + i
@@ -257,22 +364,152 @@ func newDispatch(first, count, loops int) *dispatch {
 
 // next blocks until a batch of work is available and claims it, or
 // returns nil when the run is over (all shards done or fatal error).
-func (d *dispatch) next(batch int) []int {
+// With hedging armed, an empty queue can still yield work: a copy of
+// another worker's overdue in-flight batch.
+func (d *dispatch) next(batch int, worker string) []int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for len(d.pending) == 0 && d.remaining > 0 && d.err == nil {
+	for {
+		if d.remaining == 0 || d.err != nil {
+			return nil
+		}
+		if len(d.pending) > 0 {
+			n := batch
+			if n > len(d.pending) {
+				n = len(d.pending)
+			}
+			claimed := append([]int(nil), d.pending[:n]...)
+			d.pending = d.pending[n:]
+			return claimed
+		}
+		if hedged, ripeIn := d.hedgeClaimLocked(worker); hedged != nil {
+			return hedged
+		} else if ripeIn > 0 {
+			d.armHedgeTimerLocked(ripeIn)
+		}
 		d.cond.Wait()
 	}
-	if d.remaining == 0 || d.err != nil {
-		return nil
+}
+
+// hedgeClaimLocked looks for the oldest overdue un-hedged batch from
+// another worker and claims a copy of its incomplete shards. When the
+// oldest candidate has not ripened yet it returns how long until it
+// does, so the caller can arm a wake-up instead of sleeping forever.
+func (d *dispatch) hedgeClaimLocked(worker string) (indices []int, ripeIn time.Duration) {
+	if d.hedgeDelay == nil || len(d.inflight) == 0 {
+		return nil, 0
 	}
-	n := batch
-	if n > len(d.pending) {
-		n = len(d.pending)
+	threshold := d.hedgeDelay()
+	if threshold <= 0 {
+		return nil, 0
 	}
-	claimed := append([]int(nil), d.pending[:n]...)
-	d.pending = d.pending[n:]
-	return claimed
+	var oldest *flight
+	for _, f := range d.inflight {
+		if f.hedged || f.worker == worker {
+			continue
+		}
+		if oldest == nil || f.sent.Before(oldest.sent) {
+			oldest = f
+		}
+	}
+	if oldest == nil {
+		return nil, 0
+	}
+	if age := time.Since(oldest.sent); age < threshold {
+		return nil, threshold - age
+	}
+	oldest.hedged = true
+	for _, idx := range oldest.indices {
+		if d.results[idx] == nil && d.hedges[idx] < maxHedgesPerShard {
+			d.hedges[idx]++
+			indices = append(indices, idx)
+		}
+	}
+	if len(indices) == 0 {
+		return nil, 0
+	}
+	mHedges.Inc()
+	return indices, 0
+}
+
+// armHedgeTimerLocked schedules a broadcast for when the oldest
+// in-flight batch becomes hedgeable. Later re-arms just reset it; a
+// stale firing is a harmless spurious wake.
+func (d *dispatch) armHedgeTimerLocked(in time.Duration) {
+	if d.hedgeTimer == nil {
+		d.hedgeTimer = time.AfterFunc(in, func() {
+			d.mu.Lock()
+			d.cond.Broadcast()
+			d.mu.Unlock()
+		})
+		return
+	}
+	d.hedgeTimer.Reset(in)
+}
+
+// markInflight registers a dispatched batch for hedging. No-op unless
+// hedging is armed. Called after the batch is claimed and definitely
+// going out on the wire (post-push on streams, pre-POST on JSON).
+func (d *dispatch) markInflight(indices []int, worker string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.hedgeDelay == nil {
+		return
+	}
+	f := &flight{indices: indices, worker: worker, sent: time.Now()}
+	for _, idx := range indices {
+		if d.results[idx] == nil {
+			d.inflight[idx] = f
+		}
+	}
+	// A parked idle worker may now have a future hedge candidate.
+	d.cond.Broadcast()
+}
+
+// clearInflightLocked drops flight tracking for shards that are no
+// longer outstanding (completed, requeued, or unclaimed).
+func (d *dispatch) clearInflightLocked(indices []int) {
+	if d.inflight == nil {
+		return
+	}
+	for _, idx := range indices {
+		delete(d.inflight, idx)
+	}
+}
+
+// recordCauseLocked notes one worker's latest failure for the
+// terminal diagnostic, bounded so a huge flapping fleet cannot bloat
+// the error message.
+const maxCauseWorkers = 8
+
+func (d *dispatch) recordCauseLocked(worker string, cause error) {
+	if worker == "" || cause == nil {
+		return
+	}
+	if _, seen := d.causes[worker]; !seen {
+		if len(d.causeOrder) >= maxCauseWorkers {
+			return
+		}
+		d.causeOrder = append(d.causeOrder, worker)
+	}
+	d.causes[worker] = cause.Error()
+}
+
+// causeSummaryLocked renders every distinct worker's latest failure,
+// prefixing the worker URL when the cause does not already name it.
+func (d *dispatch) causeSummaryLocked() string {
+	if len(d.causeOrder) == 0 {
+		return "no worker failures recorded"
+	}
+	parts := make([]string, len(d.causeOrder))
+	for i, w := range d.causeOrder {
+		cause := d.causes[w]
+		if !strings.Contains(cause, w) {
+			cause = w + ": " + cause
+		}
+		parts[i] = cause
+	}
+	return strings.Join(parts, "; ")
 }
 
 // complete records evaluated shards. Duplicate completions — a shard
@@ -283,6 +520,7 @@ func (d *dispatch) next(batch int) []int {
 func (d *dispatch) complete(indices []int, accs [][]montecarlo.Accumulator) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.clearInflightLocked(indices)
 	for i, idx := range indices {
 		if d.results[idx] == nil {
 			d.results[idx] = accs[i]
@@ -293,20 +531,25 @@ func (d *dispatch) complete(indices []int, accs [][]montecarlo.Accumulator) {
 }
 
 // requeue returns a failed batch to the queue, charging one attempt
-// per shard. A shard that exhausts its budget fails the whole run.
-func (d *dispatch) requeue(indices []int, maxAttempts int, cause error) {
+// per shard. A shard that exhausts its budget fails the whole run,
+// with a diagnostic naming every distinct worker failure seen — an
+// all-fleet death is diagnosable from the one message.
+func (d *dispatch) requeue(indices []int, maxAttempts int, worker string, cause error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.recordCauseLocked(worker, cause)
 	if d.err != nil {
 		return
 	}
+	d.clearInflightLocked(indices)
 	for _, idx := range indices {
 		if d.results[idx] != nil {
 			continue
 		}
 		d.attempts[idx]++
 		if d.attempts[idx] >= maxAttempts {
-			d.err = fmt.Errorf("dist: shard %d failed after %d attempts: %w", idx, d.attempts[idx], cause)
+			d.err = fmt.Errorf("dist: shard %d failed after %d attempts; worker failures: %s",
+				idx, d.attempts[idx], d.causeSummaryLocked())
 			break
 		}
 		d.pending = append(d.pending, idx)
@@ -321,12 +564,27 @@ func (d *dispatch) requeue(indices []int, maxAttempts int, cause error) {
 func (d *dispatch) unclaim(indices []int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.clearInflightLocked(indices)
 	for _, idx := range indices {
 		if d.results[idx] == nil {
 			d.pending = append(d.pending, idx)
 		}
 	}
 	d.cond.Broadcast()
+}
+
+// addLoop admits a late host goroutine — a readmitted worker joining
+// an estimation already in flight. It fails (and the caller must not
+// start the loop) once the run has completed or errored, so joins can
+// race run teardown safely.
+func (d *dispatch) addLoop() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.remaining == 0 || d.err != nil {
+		return false
+	}
+	d.loops++
+	return true
 }
 
 // loopExited records a host goroutine leaving the run, for whatever
@@ -338,11 +596,25 @@ func (d *dispatch) unclaim(indices []int) {
 func (d *dispatch) loopExited(host string, cause error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.recordCauseLocked(host, cause)
 	d.loops--
 	if d.loops <= 0 && d.remaining > 0 && d.err == nil {
-		d.err = fmt.Errorf("dist: all workers failed (last: %s: %v)", host, cause)
+		d.err = fmt.Errorf("dist: all workers failed; %s", d.causeSummaryLocked())
 	}
 	d.cond.Broadcast()
+}
+
+// waitLoops blocks until every host goroutine (including late
+// readmission joins) has exited, then retires the hedge timer.
+func (d *dispatch) waitLoops() {
+	d.mu.Lock()
+	for d.loops > 0 {
+		d.cond.Wait()
+	}
+	if d.hedgeTimer != nil {
+		d.hedgeTimer.Stop()
+	}
+	d.mu.Unlock()
 }
 
 // fail records a fatal error (context cancellation) that retrying
@@ -373,11 +645,13 @@ func (r *Remote) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	// Only workers still alive from earlier estimations join this one.
+	// Workers alive (or half-open, probing their way back) from
+	// earlier estimations join this one; fully dead workers join later
+	// if their readmission probe succeeds mid-run.
 	var live []*hostState
 	for _, h := range r.hosts {
 		h.mu.Lock()
-		if !h.dead {
+		if h.health != hostDead {
 			live = append(live, h)
 		}
 		h.mu.Unlock()
@@ -386,7 +660,7 @@ func (r *Remote) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 		return nil, fmt.Errorf("dist: all %d workers are dead", len(r.hosts))
 	}
 	count := montecarlo.ShardCount(req.Samples)
-	d := newDispatch(req.FirstShard, count, len(live))
+	d := newDispatch(req.FirstShard, count, len(live), r.hedgeDelayFn())
 
 	// Cancel in-flight requests the moment the run completes or fails.
 	ctx, cancel := context.WithCancel(ctx)
@@ -394,25 +668,40 @@ func (r *Remote) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 	stop := context.AfterFunc(ctx, func() { d.fail(ctx.Err()) })
 	defer stop()
 
-	var wg sync.WaitGroup
+	// Register before starting loops so a worker readmitted during the
+	// run can join it (joinActive); unregister before returning.
+	r.mu.Lock()
+	r.active[d] = &runState{ctx: ctx, req: req}
+	r.mu.Unlock()
+
 	for _, h := range live {
 		h := h
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			r.hostLoop(ctx, h, req, d)
-		}()
+		go r.hostLoop(ctx, h, req, d)
 	}
 
 	err := d.wait()
 	if err != nil {
 		cancel() // release any host goroutine blocked on a slow request
 	}
+	r.mu.Lock()
+	delete(r.active, d)
+	r.mu.Unlock()
 	// On success the loops drain on their own (the queue is empty), and
 	// not canceling yet lets readers park their streams in the pool —
-	// the deferred cancel must not fire until after wg.Wait, or it
-	// would race the pool release and close reusable connections.
-	wg.Wait()
+	// canceling immediately would race the pool release and close
+	// reusable connections. But a run completed by a hedge may leave
+	// the hedged-around worker wedged in a request only a cancel can
+	// unblock, so the patience is bounded: past loopDrainGrace, sever.
+	// Late readmission joins either made it into d.loops (waitLoops
+	// covers them) or failed addLoop and never started.
+	loopsDone := make(chan struct{})
+	go func() { d.waitLoops(); close(loopsDone) }()
+	select {
+	case <-loopsDone:
+	case <-time.After(loopDrainGrace):
+		cancel()
+		<-loopsDone
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -428,27 +717,51 @@ func (r *Remote) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 	return merged, nil
 }
 
-// hostState is the shared health of one worker across estimations:
-// death is permanent for the Remote's lifetime, and so is a
-// negotiated-down wire.
+// hostHealth is a worker's circuit-breaker state.
+type hostHealth int
+
+const (
+	// hostAlive: serving normally.
+	hostAlive hostHealth = iota
+	// hostDead: abandoned after HostFailLimit consecutive failures;
+	// loops for this host exit, and (unless ReadmitOff) a background
+	// probe loop works on bringing it back.
+	hostDead
+	// hostHalfOpen: a readmission probe saw a healthy /healthz; the
+	// worker is admitted back for a trial. Its first success restores
+	// it to hostAlive, its first failure re-kills it with a longer
+	// probe backoff — the classic half-open circuit breaker.
+	hostHalfOpen
+)
+
+// hostState is the shared health of one worker across estimations.
+// A negotiated-down wire is permanent for the Remote's lifetime;
+// death is not — the readmission loop may heal it.
 type hostState struct {
 	url          string
 	tid          int            // tracer lane (obs.TidRemoteBase + fleet position)
 	batchSeconds *obs.Histogram // dispatch→result latency for this worker
 	mu           sync.Mutex
-	failures     int           // consecutive transport failures
-	dead         bool          // declared dead; all loops for this host exit
+	failures     int // consecutive transport failures
+	health       hostHealth
+	probing      bool          // a probe loop goroutine is live for this host
+	probeRound   int           // failed probe cycles since last healthy (backoff exponent)
 	jsonOnly     bool          // negotiated down: worker refused the binary stream
 	idle         []*streamConn // pooled binary streams, reused across estimations
 }
 
-// markDead declares the host unusable and closes its pooled streams.
-func (h *hostState) markDead() {
+// markDead declares the host unusable, closes its pooled streams, and
+// (unless readmission is off) starts its background probe loop.
+func (r *Remote) markDead(h *hostState) {
 	h.mu.Lock()
-	was := h.dead
-	h.dead = true
+	was := h.health == hostDead
+	h.health = hostDead
 	idle := h.idle
 	h.idle = nil
+	startProbe := !was && !h.probing && r.opt.ReadmitBase > 0
+	if startProbe {
+		h.probing = true
+	}
 	h.mu.Unlock()
 	for _, sc := range idle {
 		sc.close()
@@ -458,6 +771,9 @@ func (h *hostState) markDead() {
 		if tr := obs.CurrentTracer(); tr != nil {
 			tr.Instant("worker_abandoned", "dist", h.tid, map[string]any{"worker": h.url})
 		}
+	}
+	if startProbe {
+		go r.probeLoop(h)
 	}
 }
 
@@ -483,25 +799,62 @@ func (h *hostState) observeBatch(wire string, sent time.Time, shards int) {
 }
 
 // countFailure charges one consecutive transport failure and reports
-// whether the host just died of them.
+// whether the host is now (or already was) dead. A half-open host
+// dies of its first failure: the trial batch was the test, and it
+// failed — back to probing, with a longer backoff.
 func (r *Remote) countFailure(h *hostState) (dead bool) {
 	h.mu.Lock()
 	h.failures++
-	if !h.dead && h.failures >= r.opt.HostFailLimit {
+	switch {
+	case h.health == hostDead:
 		h.mu.Unlock()
-		h.markDead()
+		return true
+	case h.health == hostHalfOpen:
+		h.probeRound++
+		h.mu.Unlock()
+		r.markDead(h)
+		return true
+	case h.failures >= r.opt.HostFailLimit:
+		h.mu.Unlock()
+		r.markDead(h)
 		return true
 	}
-	dead = h.dead
 	h.mu.Unlock()
-	return dead
+	return false
 }
 
-// noteSuccess resets the consecutive-failure counter.
+// retryDelay returns the jittered backoff before this host's next
+// attempt after `failures` consecutive transport failures — the
+// dial-retry pacing that keeps a restarted fleet from eating a
+// synchronized reconnect stampede.
+func (h *hostState) retryDelay() time.Duration {
+	h.mu.Lock()
+	n := h.failures
+	h.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	return jitteredBackoff(dialRetryBase, n-1, dialRetryMax)
+}
+
+// noteSuccess resets the consecutive-failure counter and, when the
+// success was a half-open worker's trial batch, restores the worker
+// to full fleet membership.
 func (h *hostState) noteSuccess() {
 	h.mu.Lock()
 	h.failures = 0
+	readmitted := h.health == hostHalfOpen
+	if readmitted {
+		h.health = hostAlive
+		h.probeRound = 0
+	}
 	h.mu.Unlock()
+	if readmitted {
+		mWorkersReadmitted.Inc()
+		if tr := obs.CurrentTracer(); tr != nil {
+			tr.Instant("worker_readmitted", "dist", h.tid, map[string]any{"worker": h.url})
+		}
+	}
 }
 
 // acquireStream pops a pooled binary stream or dials a fresh one.
@@ -521,7 +874,7 @@ func (r *Remote) acquireStream(ctx context.Context, h *hostState) (*streamConn, 
 func (r *Remote) releaseStream(h *hostState, sc *streamConn) {
 	sc.conn.SetReadDeadline(time.Time{})
 	h.mu.Lock()
-	if !h.dead && len(h.idle) < maxIdleStreams {
+	if h.health != hostDead && len(h.idle) < maxIdleStreams {
 		h.idle = append(h.idle, sc)
 		h.mu.Unlock()
 		return
@@ -547,7 +900,7 @@ func (r *Remote) hostLoop(ctx context.Context, h *hostState, req montecarlo.Requ
 	defer func() { d.loopExited(h.url, lastErr) }()
 	for {
 		h.mu.Lock()
-		dead, jsonOnly := h.dead, h.jsonOnly
+		dead, jsonOnly := h.health == hostDead, h.jsonOnly
 		h.mu.Unlock()
 		if dead {
 			if lastErr == nil {
@@ -561,7 +914,7 @@ func (r *Remote) hostLoop(ctx context.Context, h *hostState, req montecarlo.Requ
 			}
 			return
 		}
-		batch := d.next(r.opt.BatchSize)
+		batch := d.next(r.opt.BatchSize, h.url)
 		if batch == nil {
 			return
 		}
@@ -569,8 +922,8 @@ func (r *Remote) hostLoop(ctx context.Context, h *hostState, req montecarlo.Requ
 		if err != nil {
 			if errors.As(err, new(*fatalStatusError)) || errors.Is(err, errNoBinary) && r.opt.Wire == WireBinary {
 				lastErr = err
-				d.requeue(batch, r.opt.MaxAttempts, fmt.Errorf("worker %s: %w", h.url, err))
-				h.markDead()
+				d.requeue(batch, r.opt.MaxAttempts, h.url, fmt.Errorf("worker %s: %w", h.url, err))
+				r.markDead(h)
 				return
 			}
 			if errors.Is(err, errNoBinary) {
@@ -584,10 +937,11 @@ func (r *Remote) hostLoop(ctx context.Context, h *hostState, req montecarlo.Requ
 				continue
 			}
 			lastErr = err
-			d.requeue(batch, r.opt.MaxAttempts, fmt.Errorf("worker %s: %w", h.url, err))
+			d.requeue(batch, r.opt.MaxAttempts, h.url, fmt.Errorf("worker %s: %w", h.url, err))
 			if r.countFailure(h) {
 				return
 			}
+			sleepCtx(ctx, h.retryDelay())
 			continue
 		}
 		err = r.runStream(ctx, h, sc, req, d, batch)
@@ -599,12 +953,26 @@ func (r *Remote) hostLoop(ctx context.Context, h *hostState, req montecarlo.Requ
 		if errors.As(err, &fatal) {
 			// The worker understood the batch and rejected it (unknown
 			// kernel, version skew): abandon it, let the fleet retry.
-			h.markDead()
+			r.markDead(h)
 			return
 		}
 		if r.countFailure(h) {
 			return
 		}
+		sleepCtx(ctx, h.retryDelay())
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is canceled.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
 	}
 }
 
@@ -741,11 +1109,12 @@ func (r *Remote) runStream(ctx context.Context, h *hostState, sc *streamConn, re
 				st.finishWriter(nil, sc.conn)
 				return
 			}
+			d.markInflight(batch, h.url) // hedging sees it once it is going out
 			if err := sc.sendBatch(reqID, batch); err != nil {
 				st.finishWriter(fmt.Errorf("worker %s: send batch: %w", h.url, err), sc.conn)
 				return
 			}
-			batch = d.next(r.opt.BatchSize)
+			batch = d.next(r.opt.BatchSize, h.url)
 			if batch == nil {
 				st.finishWriter(nil, sc.conn)
 				return
@@ -761,7 +1130,7 @@ func (r *Remote) runStream(ctx context.Context, h *hostState, sc *streamConn, re
 		stopWake()
 		sc.close()
 		if len(inflight) > 0 {
-			d.requeue(inflight, r.opt.MaxAttempts, cause)
+			d.requeue(inflight, r.opt.MaxAttempts, h.url, cause)
 		}
 		return cause
 	}
@@ -905,7 +1274,7 @@ func (r *Remote) jsonLoop(ctx context.Context, h *hostState, req montecarlo.Requ
 	var lastErr error
 	for {
 		h.mu.Lock()
-		dead := h.dead
+		dead := h.health == hostDead
 		h.mu.Unlock()
 		if dead {
 			if lastErr == nil {
@@ -913,11 +1282,12 @@ func (r *Remote) jsonLoop(ctx context.Context, h *hostState, req montecarlo.Requ
 			}
 			return lastErr
 		}
-		batch := d.next(r.opt.BatchSize)
+		batch := d.next(r.opt.BatchSize, h.url)
 		if batch == nil {
 			return lastErr
 		}
 		sent := time.Now()
+		d.markInflight(batch, h.url)
 		accs, err := r.post(ctx, h.url, req, batch)
 		if err == nil {
 			h.noteSuccess()
@@ -933,16 +1303,17 @@ func (r *Remote) jsonLoop(ctx context.Context, h *hostState, req montecarlo.Requ
 			// service squatting on the address. Abandon the worker and
 			// let the rest of the fleet take the batch; the run only
 			// fails if every worker rejects it.
-			d.requeue(batch, r.opt.MaxAttempts, err)
-			h.markDead()
+			d.requeue(batch, r.opt.MaxAttempts, h.url, err)
+			r.markDead(h)
 			return lastErr
 		}
 		// Transport failure: hand the batch back for the fleet and
 		// decide whether this worker is still worth talking to.
-		d.requeue(batch, r.opt.MaxAttempts, err)
+		d.requeue(batch, r.opt.MaxAttempts, h.url, err)
 		if r.countFailure(h) {
 			return lastErr
 		}
+		sleepCtx(ctx, h.retryDelay())
 	}
 }
 

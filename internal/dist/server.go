@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"carriersense/internal/fault"
 	"carriersense/internal/montecarlo"
 	"carriersense/internal/obs"
 )
@@ -55,12 +56,18 @@ func NewServer() *Server {
 
 // beginBatch/endBatch bracket one shard batch's evaluation for the
 // in-flight accounting (per-Server for /stats, process-wide for the
-// cs_worker_inflight_batches gauge).
-func (s *Server) beginBatch() {
+// cs_worker_inflight_batches gauge). The returned ordinal is this
+// worker's 1-based batch count when a fault plan is installed — the
+// coordinate @batchN schedule clauses fire on — and 0 otherwise.
+func (s *Server) beginBatch() int {
 	s.inflight.Add(1)
 	wInflight.Inc()
 	wRequests.Inc()
 	s.requests.Add(1)
+	if f := fault.Current(); f != nil {
+		return f.WorkerBatch()
+	}
+	return 0
 }
 
 func (s *Server) endBatch() {
@@ -76,6 +83,14 @@ func (s *Server) countFailure() {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f := fault.Current(); f != nil && f.RefuseRequest() {
+		// A refused dial must look like a dead TCP peer, not an HTTP
+		// status: a 503 on the stream-upgrade path would read as "this
+		// worker speaks JSON only" and negotiate down instead of
+		// exercising the failure path. ErrAbortHandler severs the
+		// connection without a response and without a stack trace.
+		panic(http.ErrAbortHandler)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -145,6 +160,14 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		// Not healthy for new work: fleet probes (and the readmission
+		// loop in particular) must not route batches at a worker on its
+		// way out.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"carriersense/internal/fault"
 	"carriersense/internal/montecarlo"
 )
 
@@ -286,7 +287,7 @@ func (s *Server) serveStream(ss *streamSession) {
 				fail(fmt.Sprintf("dist: batch references unknown request id %d", id))
 				return
 			}
-			s.beginBatch()
+			ordinal := s.beginBatch()
 			s.streamBatches.Add(1)
 			if err := validateIndices(indices, req.FirstShard, montecarlo.ShardCount(req.Samples)); err != nil {
 				s.endBatch()
@@ -314,7 +315,27 @@ func (s *Server) serveStream(ss *streamSession) {
 			wShards.Add(int64(len(indices)))
 			wSamples.Add(int64(sampleCount))
 			s.endBatch()
-			if err := writeFrame(ss.bw, frameResult, encodeResult(id, req.Dim, indices, accs)); err != nil {
+			result := encodeResult(id, req.Dim, indices, accs)
+			if f := fault.Current(); f != nil {
+				mangled, truncate := f.MangleResultFrame(ordinal, result)
+				if truncate {
+					// Declare the full frame, deliver half, and sever: the
+					// coordinator's readFrame sees an unexpected EOF — a
+					// transport failure, requeued like a real torn wire.
+					var hdr [5]byte
+					hdr[0] = byte(len(result))
+					hdr[1] = byte(len(result) >> 8)
+					hdr[2] = byte(len(result) >> 16)
+					hdr[3] = byte(len(result) >> 24)
+					hdr[4] = byte(frameResult)
+					_, _ = ss.bw.Write(hdr[:])
+					_, _ = ss.bw.Write(result[:len(result)/2])
+					_ = ss.bw.Flush()
+					return
+				}
+				result = mangled
+			}
+			if err := writeFrame(ss.bw, frameResult, result); err != nil {
 				return
 			}
 			if err := ss.bw.Flush(); err != nil {

@@ -1,0 +1,328 @@
+// Package fault is a deterministic, seeded fault-injection layer for
+// the distributed executor and the persistent cache. A fault schedule
+// is a small textual program — which process misbehaves, how, and
+// when — parsed once at startup and installed as an immutable Plan
+// behind a single atomic pointer. Production builds with no schedule
+// installed pay exactly one nil check per hook site; everything else
+// is compiled in but dormant.
+//
+// Schedule grammar (the `-fault` flag), comma-separated clauses:
+//
+//	target:kind[@batchN][=value]
+//	seed=N
+//
+// where target names a process (`cs serve -fault-id worker1` matches
+// clauses whose target is "worker1"; `*` matches every process) and
+// kind is one of:
+//
+//	crash@batchN      exit the process when it begins its Nth batch
+//	slow=DUR          sleep DUR before every batch (append @batchN to
+//	                  straggle only that one batch)
+//	corrupt@batchN    flip a structural byte in the Nth batch's result
+//	                  frame, so the coordinator's decode fails loudly
+//	truncate@batchN   announce the Nth result frame's full length but
+//	                  deliver half of it, then sever the connection
+//	refuse=N          sever the first N HTTP requests without an
+//	                  answer (a dead/unreachable worker that heals)
+//	flip=N            flip one bit in each of the first N disk-cache
+//	                  entry loads (the integrity layer must quarantine)
+//
+// Example: `worker1:crash@batch3,worker2:slow=200ms,cache:flip=1`.
+//
+// Determinism: every fault fires at a fixed ordinal of a per-process
+// monotonic counter (batches begun, requests received, cache loads),
+// and mutation positions derive from the schedule seed — the same
+// schedule against the same run misbehaves identically. None of it
+// can change *results*: crashes, refusals, and slowness only steer
+// scheduling (shard accumulators merge by index, in shard order), and
+// corruption targets are the structural frame bytes and checksummed
+// cache entries, both of which fail loudly and re-dispatch or miss.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	Crash Kind = iota
+	Slow
+	Corrupt
+	Truncate
+	Refuse
+	Flip
+)
+
+// String implements fmt.Stringer (schedule keywords).
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Slow:
+		return "slow"
+	case Corrupt:
+		return "corrupt"
+	case Truncate:
+		return "truncate"
+	case Refuse:
+		return "refuse"
+	case Flip:
+		return "flip"
+	}
+	return fmt.Sprintf("fault.Kind(%d)", int(k))
+}
+
+// Rule is one parsed schedule clause.
+type Rule struct {
+	Target string        // process id the clause applies to ("*" = all)
+	Kind   Kind          // what to inject
+	Batch  int           // 1-based batch ordinal; 0 = every batch (Slow only)
+	Count  int           // budget for Refuse/Flip
+	Delay  time.Duration // Slow latency
+}
+
+// Schedule is a parsed fault schedule, shared verbatim by every
+// process of a run; each process selects its own clauses with Plan.
+type Schedule struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// Parse parses a `-fault` schedule. The empty string is an error —
+// "no faults" is expressed by not installing a plan at all.
+func Parse(spec string) (*Schedule, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, errors.New("fault: empty schedule")
+	}
+	s := &Schedule{Seed: 1}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			return nil, fmt.Errorf("fault: empty clause in %q", spec)
+		}
+		if v, ok := strings.CutPrefix(clause, "seed="); ok {
+			seed, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %v", v, err)
+			}
+			s.Seed = seed
+			continue
+		}
+		target, body, ok := strings.Cut(clause, ":")
+		if !ok || target == "" || body == "" {
+			return nil, fmt.Errorf("fault: bad clause %q (want target:kind[@batchN][=value])", clause)
+		}
+		r := Rule{Target: target}
+		if at := strings.Index(body, "@batch"); at >= 0 {
+			n, err := strconv.Atoi(body[at+len("@batch"):])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fault: bad batch ordinal in %q (want @batchN, N >= 1)", clause)
+			}
+			r.Batch = n
+			body = body[:at]
+		}
+		kind, val, hasVal := strings.Cut(body, "=")
+		switch kind {
+		case "crash":
+			r.Kind = Crash
+			if hasVal || r.Batch == 0 {
+				return nil, fmt.Errorf("fault: crash takes @batchN and no value: %q", clause)
+			}
+		case "slow":
+			r.Kind = Slow
+			d, err := time.ParseDuration(val)
+			if !hasVal || err != nil || d <= 0 {
+				return nil, fmt.Errorf("fault: slow needs a positive duration (slow=200ms): %q", clause)
+			}
+			r.Delay = d
+		case "corrupt":
+			r.Kind = Corrupt
+			if hasVal || r.Batch == 0 {
+				return nil, fmt.Errorf("fault: corrupt takes @batchN and no value: %q", clause)
+			}
+		case "truncate":
+			r.Kind = Truncate
+			if hasVal || r.Batch == 0 {
+				return nil, fmt.Errorf("fault: truncate takes @batchN and no value: %q", clause)
+			}
+		case "refuse":
+			r.Kind = Refuse
+			n, err := strconv.Atoi(val)
+			if !hasVal || err != nil || n < 1 || r.Batch != 0 {
+				return nil, fmt.Errorf("fault: refuse needs a positive count (refuse=3): %q", clause)
+			}
+			r.Count = n
+		case "flip":
+			r.Kind = Flip
+			n, err := strconv.Atoi(val)
+			if !hasVal || err != nil || n < 1 || r.Batch != 0 {
+				return nil, fmt.Errorf("fault: flip needs a positive count (flip=1): %q", clause)
+			}
+			r.Count = n
+		default:
+			return nil, fmt.Errorf("fault: unknown kind %q in %q (want crash, slow, corrupt, truncate, refuse, or flip)", kind, clause)
+		}
+		s.Rules = append(s.Rules, r)
+	}
+	return s, nil
+}
+
+// Plan selects the schedule's clauses for one process: rules whose
+// target is any of ids or "*". Returns nil when nothing matches — the
+// process then runs with the hooks fully dormant.
+func (s *Schedule) Plan(ids ...string) *Plan {
+	p := &Plan{seed: s.Seed, OnCrash: func() { os.Exit(3) }}
+	for _, r := range s.Rules {
+		match := r.Target == "*"
+		for _, id := range ids {
+			if r.Target == id {
+				match = true
+			}
+		}
+		if match {
+			p.rules = append(p.rules, r)
+		}
+	}
+	if len(p.rules) == 0 {
+		return nil
+	}
+	return p
+}
+
+// Plan is one process's share of a schedule: immutable rules plus the
+// monotonic counters the rules key off. Safe for concurrent use.
+type Plan struct {
+	seed  uint64
+	rules []Rule
+	// OnCrash is what a Crash rule executes once its batch ordinal
+	// comes up. Defaults to os.Exit(3); in-process tests override it
+	// before Install to observe the crash instead of dying of it.
+	OnCrash func()
+
+	batches atomic.Int64 // batches begun (WorkerBatch)
+	refused atomic.Int64 // HTTP requests severed (RefuseRequest)
+	flipped atomic.Int64 // cache loads mangled (MangleCacheLoad)
+}
+
+// String summarizes the active rules (startup stderr notice).
+func (p *Plan) String() string {
+	var parts []string
+	for _, r := range p.rules {
+		s := r.Target + ":" + r.Kind.String()
+		if r.Batch > 0 {
+			s += fmt.Sprintf("@batch%d", r.Batch)
+		}
+		if r.Count > 0 {
+			s += fmt.Sprintf("=%d", r.Count)
+		}
+		if r.Delay > 0 {
+			s += "=" + r.Delay.String()
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, ",")
+}
+
+// current is the process-global plan. One atomic load per hook site;
+// nil (the default) means every hook is a no-op.
+var current atomic.Pointer[Plan]
+
+// Install makes p the process's active plan (nil uninstalls).
+func Install(p *Plan) { current.Store(p) }
+
+// Current returns the active plan, or nil when fault injection is off.
+// Callers must nil-check: `if f := fault.Current(); f != nil { ... }`.
+func Current() *Plan { return current.Load() }
+
+// WorkerBatch marks the beginning of one shard batch on a worker and
+// applies batch-scoped faults: Slow sleeps, Crash exits. It returns
+// the batch's 1-based ordinal for result-frame faults downstream.
+func (p *Plan) WorkerBatch() int {
+	n := int(p.batches.Add(1))
+	for _, r := range p.rules {
+		switch r.Kind {
+		case Slow:
+			if r.Batch == 0 || r.Batch == n {
+				mSlow.Inc()
+				time.Sleep(r.Delay)
+			}
+		case Crash:
+			if r.Batch == n {
+				mCrash.Inc()
+				fmt.Fprintf(os.Stderr, "fault: injected crash at batch %d\n", n)
+				p.OnCrash()
+			}
+		}
+	}
+	return n
+}
+
+// RefuseRequest reports whether this HTTP request should be severed
+// without an answer (the first Count requests of a Refuse rule).
+func (p *Plan) RefuseRequest() bool {
+	for _, r := range p.rules {
+		if r.Kind != Refuse {
+			continue
+		}
+		if p.refused.Add(1) <= int64(r.Count) {
+			mRefuse.Inc()
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// MangleResultFrame applies Corrupt/Truncate rules to the result
+// frame of the batch with the given ordinal. Corrupt flips a
+// structural byte (the frame's shard-count word) so the coordinator's
+// decode fails loudly and re-dispatches — never a byte of accumulator
+// state, which would pass validation and break bit-identity silently.
+// truncate=true asks the caller to deliver half the payload and sever
+// the connection.
+func (p *Plan) MangleResultFrame(ordinal int, payload []byte) (out []byte, truncate bool) {
+	for _, r := range p.rules {
+		switch r.Kind {
+		case Corrupt:
+			if r.Batch == ordinal && len(payload) >= 12 {
+				mCorrupt.Inc()
+				// Bytes 4..7 hold the frame's shard count; a seeded
+				// flip there guarantees a decode-side length mismatch.
+				payload[4+int(p.seed%4)] ^= 0x40 | byte(p.seed&0x3f) | 1
+			}
+		case Truncate:
+			if r.Batch == ordinal {
+				mTruncate.Inc()
+				truncate = true
+			}
+		}
+	}
+	return payload, truncate
+}
+
+// MangleCacheLoad flips one seeded bit in each of the first Count
+// disk-cache entry reads of a Flip rule; the cache's integrity check
+// must turn the damage into a quarantined miss.
+func (p *Plan) MangleCacheLoad(data []byte) []byte {
+	for _, r := range p.rules {
+		if r.Kind != Flip || len(data) == 0 {
+			continue
+		}
+		if p.flipped.Add(1) <= int64(r.Count) {
+			mFlip.Inc()
+			mangled := append([]byte(nil), data...)
+			mangled[int(p.seed)%len(mangled)] ^= 1 << (p.seed % 8)
+			return mangled
+		}
+		return data
+	}
+	return data
+}

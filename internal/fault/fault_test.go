@@ -1,0 +1,238 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSchedule(t *testing.T) {
+	s, err := Parse("worker1:crash@batch3,worker2:slow=200ms,worker3:refuse=4,cache:flip=2,seed=9")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Seed != 9 {
+		t.Fatalf("seed = %d, want 9", s.Seed)
+	}
+	want := []Rule{
+		{Target: "worker1", Kind: Crash, Batch: 3},
+		{Target: "worker2", Kind: Slow, Delay: 200 * time.Millisecond},
+		{Target: "worker3", Kind: Refuse, Count: 4},
+		{Target: "cache", Kind: Flip, Count: 2},
+	}
+	if len(s.Rules) != len(want) {
+		t.Fatalf("got %d rules, want %d: %+v", len(s.Rules), len(want), s.Rules)
+	}
+	for i, r := range s.Rules {
+		if r != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                      // empty schedule
+		"worker1",               // no kind
+		"worker1:",              // empty body
+		":crash@batch1",         // empty target
+		"worker1:crash",         // crash without a batch ordinal
+		"worker1:crash@batch0",  // ordinal must be >= 1
+		"worker1:slow",          // slow without a duration
+		"worker1:slow=banana",   // bad duration
+		"worker1:slow=-5ms",     // negative duration
+		"worker1:refuse",        // refuse without a count
+		"worker1:refuse=0",      // zero count
+		"worker1:refuse@batch2", // refuse is not batch-scoped
+		"worker1:corrupt=3",     // corrupt takes no value
+		"worker1:explode@batch1",
+		"seed=minus",
+		"worker1:crash@batch1,,worker2:slow=1ms",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestPlanSelectsByTarget(t *testing.T) {
+	s, err := Parse("worker1:crash@batch1,worker2:slow=1ms,*:refuse=1,cache:flip=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Plan("worker2")
+	if p == nil {
+		t.Fatal("Plan(worker2) = nil")
+	}
+	// worker2 gets its own slow rule plus the wildcard refuse rule.
+	if got := p.String(); !strings.Contains(got, "slow") || !strings.Contains(got, "refuse") ||
+		strings.Contains(got, "crash") || strings.Contains(got, "flip") {
+		t.Fatalf("Plan(worker2) rules = %q", got)
+	}
+	if s.Plan("worker9", "coord") == nil {
+		t.Fatal("wildcard rule should match any id")
+	}
+	noWild, err := Parse("worker1:crash@batch1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := noWild.Plan("worker2"); p != nil {
+		t.Fatalf("Plan for unmatched target = %v, want nil", p)
+	}
+}
+
+func TestInstallCurrent(t *testing.T) {
+	t.Cleanup(func() { Install(nil) })
+	if Current() != nil {
+		t.Fatal("Current() non-nil before Install")
+	}
+	s, _ := Parse("w:slow=1ms")
+	p := s.Plan("w")
+	Install(p)
+	if Current() != p {
+		t.Fatal("Current() did not return the installed plan")
+	}
+	Install(nil)
+	if Current() != nil {
+		t.Fatal("Install(nil) did not uninstall")
+	}
+}
+
+func TestCrashFiresAtItsOrdinalOnly(t *testing.T) {
+	s, _ := Parse("w:crash@batch3")
+	p := s.Plan("w")
+	crashed := 0
+	p.OnCrash = func() { crashed++ }
+	for i := 1; i <= 5; i++ {
+		got := p.WorkerBatch()
+		if got != i {
+			t.Fatalf("WorkerBatch ordinal = %d, want %d", got, i)
+		}
+	}
+	if crashed != 1 {
+		t.Fatalf("crash fired %d times, want once (at batch 3)", crashed)
+	}
+}
+
+func TestSlowEveryBatchVsOneBatch(t *testing.T) {
+	s, _ := Parse("w:slow=10ms@batch2")
+	p := s.Plan("w")
+	start := time.Now()
+	p.WorkerBatch() // batch 1: no delay
+	fast := time.Since(start)
+	start = time.Now()
+	p.WorkerBatch() // batch 2: the straggler
+	slow := time.Since(start)
+	if slow < 10*time.Millisecond {
+		t.Fatalf("batch 2 took %v, want >= 10ms", slow)
+	}
+	if fast >= 10*time.Millisecond {
+		t.Fatalf("batch 1 took %v, want un-delayed", fast)
+	}
+}
+
+func TestRefuseBudget(t *testing.T) {
+	s, _ := Parse("w:refuse=2")
+	p := s.Plan("w")
+	refused := 0
+	for i := 0; i < 5; i++ {
+		if p.RefuseRequest() {
+			refused++
+		}
+	}
+	if refused != 2 {
+		t.Fatalf("refused %d requests, want 2", refused)
+	}
+}
+
+func TestMangleResultFrameHitsStructuralBytesOnly(t *testing.T) {
+	s, _ := Parse("w:corrupt@batch2,seed=7")
+	p := s.Plan("w")
+	payload := make([]byte, 64)
+	clean := append([]byte(nil), payload...)
+	out, trunc := p.MangleResultFrame(1, payload)
+	if trunc || !bytes.Equal(out, clean) {
+		t.Fatal("batch 1 frame mangled; rule is @batch2")
+	}
+	out, trunc = p.MangleResultFrame(2, payload)
+	if trunc {
+		t.Fatal("corrupt rule asked for truncation")
+	}
+	diff := -1
+	for i := range out {
+		if out[i] != clean[i] {
+			if diff >= 0 {
+				t.Fatalf("more than one byte changed (%d and %d)", diff, i)
+			}
+			diff = i
+		}
+	}
+	// The flip must land in the structural header (bytes 4..7, the
+	// shard-count word) — never in accumulator state, where it would
+	// pass validation and silently break bit-identity.
+	if diff < 4 || diff > 7 {
+		t.Fatalf("corrupt flipped byte %d, want one of the shard-count bytes 4..7", diff)
+	}
+}
+
+func TestMangleResultFrameTruncate(t *testing.T) {
+	s, _ := Parse("w:truncate@batch1")
+	p := s.Plan("w")
+	payload := make([]byte, 32)
+	_, trunc := p.MangleResultFrame(1, payload)
+	if !trunc {
+		t.Fatal("truncate rule did not request truncation at its ordinal")
+	}
+	if _, trunc = p.MangleResultFrame(2, payload); trunc {
+		t.Fatal("truncate fired off its ordinal")
+	}
+}
+
+func TestMangleCacheLoadFlipsOneBitDeterministically(t *testing.T) {
+	s, _ := Parse("cache:flip=1,seed=1234")
+	p := s.Plan("cache")
+	data := bytes.Repeat([]byte{0xAA}, 100)
+	got := p.MangleCacheLoad(data)
+	if bytes.Equal(got, data) {
+		t.Fatal("first load not mangled")
+	}
+	diffs := 0
+	for i := range got {
+		if x := got[i] ^ data[i]; x != 0 {
+			diffs++
+			if x&(x-1) != 0 {
+				t.Fatalf("byte %d changed by more than one bit (%#x)", i, x)
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("%d bytes changed, want exactly 1", diffs)
+	}
+	// Budget spent: subsequent loads come back untouched, and the
+	// original slice was never mutated in place.
+	if again := p.MangleCacheLoad(data); !bytes.Equal(again, data) {
+		t.Fatal("second load mangled; flip budget was 1")
+	}
+	if !bytes.Equal(data, bytes.Repeat([]byte{0xAA}, 100)) {
+		t.Fatal("MangleCacheLoad mutated the caller's slice")
+	}
+	// Same schedule, same seed, fresh plan: same flip.
+	p2 := mustPlan(t, "cache:flip=1,seed=1234", "cache")
+	if !bytes.Equal(p2.MangleCacheLoad(data), got) {
+		t.Fatal("flip position not deterministic for a fixed seed")
+	}
+}
+
+func mustPlan(t *testing.T, spec string, ids ...string) *Plan {
+	t.Helper()
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Plan(ids...)
+	if p == nil {
+		t.Fatalf("Plan(%v) over %q = nil", ids, spec)
+	}
+	return p
+}

@@ -1,0 +1,28 @@
+package fault
+
+// Registry handles for the injection layer: every fired fault counts,
+// so a chaos run's metrics.json records exactly which injections the
+// schedule delivered (and the chaos smoke can assert on them).
+
+import "carriersense/internal/obs"
+
+var (
+	mCrash = obs.Default().Counter("cs_fault_injected_total",
+		"Faults fired by the installed schedule, by kind.",
+		obs.Label{Key: "kind", Value: "crash"})
+	mSlow = obs.Default().Counter("cs_fault_injected_total",
+		"Faults fired by the installed schedule, by kind.",
+		obs.Label{Key: "kind", Value: "slow"})
+	mCorrupt = obs.Default().Counter("cs_fault_injected_total",
+		"Faults fired by the installed schedule, by kind.",
+		obs.Label{Key: "kind", Value: "corrupt"})
+	mTruncate = obs.Default().Counter("cs_fault_injected_total",
+		"Faults fired by the installed schedule, by kind.",
+		obs.Label{Key: "kind", Value: "truncate"})
+	mRefuse = obs.Default().Counter("cs_fault_injected_total",
+		"Faults fired by the installed schedule, by kind.",
+		obs.Label{Key: "kind", Value: "refuse"})
+	mFlip = obs.Default().Counter("cs_fault_injected_total",
+		"Faults fired by the installed schedule, by kind.",
+		obs.Label{Key: "kind", Value: "flip"})
+)

@@ -125,6 +125,43 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
 
+// Quantile estimates the q-th quantile of the observed distribution
+// by walking the cumulative bucket counts and interpolating linearly
+// inside the bucket where the target rank lands — the same estimate a
+// Prometheus histogram_quantile() would give over one scrape. Mass in
+// the +Inf bucket reports the largest finite bound (the histogram
+// cannot see past it). Returns 0 with no observations; q is clamped
+// to [0, 1]. Concurrent Observe calls make the walk a snapshot, which
+// is all its consumers (hedging thresholds) need.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if cum+c >= target {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if c == 0 {
+				return bound
+			}
+			return lower + (bound-lower)*((target-cum)/c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Label is one metric dimension. Labels are rendered sorted by key, so
 // the same set in any order names the same series.
 type Label struct {

@@ -110,6 +110,35 @@ func TestHistogramObserve(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "h", []float64{0.1, 1, 10})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", got)
+	}
+	// 10 observations in (0.1, 1]: the median interpolates to the
+	// middle of that bucket, and every quantile stays inside it.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if got := h.Quantile(0.5); got != 0.1+(1-0.1)*0.5 {
+		t.Fatalf("p50 = %g, want mid-bucket 0.55", got)
+	}
+	if lo, hi := h.Quantile(0.01), h.Quantile(0.99); lo <= 0.1 || hi > 1 {
+		t.Fatalf("quantiles escaped the occupied bucket: p1=%g p99=%g", lo, hi)
+	}
+	// Mass beyond the last finite bound reports that bound.
+	h2 := r.Histogram("q2_seconds", "h", []float64{0.1, 1})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Fatalf("overflow quantile = %g, want last finite bound 1", got)
+	}
+	// Clamping.
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("clamped quantiles out of order")
+	}
+}
+
 func TestHistogramDefaultBuckets(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("def_seconds", "h", nil)
