@@ -41,6 +41,7 @@ import (
 	"carriersense/internal/fault"
 	"carriersense/internal/montecarlo"
 	"carriersense/internal/obs"
+	"carriersense/internal/prov"
 	"carriersense/internal/sampling"
 )
 
@@ -61,6 +62,12 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "cache":
 		err = cmdCache(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "exp":
+		err = cmdExp(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "help", "-h", "--help":
 		if len(os.Args) > 2 {
 			err = cmdHelp(os.Args[2])
@@ -87,6 +94,18 @@ commands:
   cs all [...]              run every scenario
   cs serve [-listen :8031]  run a distributed shard worker
   cs cache stats|clear      inspect or empty the persistent result cache
+  cs verify RUNDIR...       re-hash run dirs against their provenance
+                            manifests; nonzero exit on tamper or drift
+  cs exp run -grid F -out D execute a declarative experiments.json grid,
+                            stamping every repeat's manifest (accepts the
+                            shared run flags: -workers, -cache, ...)
+  cs exp analyze DIR        verify + aggregate manifested runs into
+                            analysis/{summary_runs.csv,
+                            summary_grouped.csv, tables.tex, plots.txt}
+  cs bench diff OLD NEW     lane-by-lane comparison of two BENCH_*.json
+                            snapshots (-threshold F, -gate lane=maxfrac
+                            repeatable, -all, -o report.md); nonzero
+                            exit when a gated lane regresses
   cs help <scenario>        describe one scenario and its parameters
 
 serve flags:
@@ -98,6 +117,10 @@ serve flags:
                  'worker1:crash@batch3,worker2:slow=200ms,seed=7'
                  (kinds: crash, slow, corrupt, truncate, refuse, flip)
   -fault-id NAME which schedule target this worker answers to
+  -trace F       write this worker's Chrome trace_event timeline (one
+                 span per evaluated shard batch) to F when a SIGINT/
+                 SIGTERM drain completes — the worker-side complement
+                 of the coordinator's run -trace
 
 run/all flags:
   -seed S        override the scenario's Seed parameter
@@ -278,11 +301,13 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 		if readmit < 0 {
 			readmit = dist.ReadmitOff
 		}
+		var workerHosts []string
 		if *workers != "" {
 			hosts, err := dist.ParseWorkerList(*workers)
 			if err != nil {
 				return cfg, err
 			}
+			workerHosts = hosts
 			remote, err := dist.NewRemote(hosts, dist.RemoteOptions{
 				Wire: wireMode, ShardTimeout: *shardTimeout,
 				HedgeQuantile: *hedge, ReadmitBase: readmit,
@@ -327,6 +352,20 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 				return cfg, fmt.Errorf("-prefetch cannot predict -relerr convergence rounds; prefetch without -relerr")
 			}
 			cfg.prefetch = true
+		}
+		// Record the execution shape for provenance manifests: the
+		// engine cannot see through the Executor interface, so the flag
+		// layer that assembled the chain reports it here.
+		opts.Exec = prov.ExecInfo{
+			Parallel: opts.Parallel,
+			Cache:    *useCache,
+			CacheDir: cfg.cacheDir,
+			Prefetch: cfg.prefetch,
+			Fault:    *faultSpec,
+		}
+		if len(workerHosts) > 0 {
+			opts.Exec.Workers = workerHosts
+			opts.Exec.Wire = *wire
 		}
 		return cfg, nil
 	}
@@ -767,6 +806,7 @@ func cmdServe(args []string) error {
 	parallel := fs.Int("parallel", 0, "per-request worker pool width (0 = GOMAXPROCS)")
 	faultSpec := fs.String("fault", "", "deterministic fault schedule for this worker (testing; see internal/fault)")
 	faultID := fs.String("fault-id", "", "name this worker answers to in the -fault schedule")
+	traceFile := fs.String("trace", "", "write this worker's Chrome trace_event timeline here on graceful drain")
 	fs.Usage = func() { usage(fs.Output()) }
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -802,6 +842,14 @@ func cmdServe(args []string) error {
 	// handler and kills the process the old way.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	// Worker-side tracing: the coordinator's -trace timeline only shows
+	// dispatch latency; a worker arms its own tracer here and exports
+	// the spans of every batch it evaluated when the drain completes,
+	// so fleet timelines exist on both ends of the wire.
+	if *traceFile != "" {
+		obs.SetTracer(obs.NewTracer())
+		defer obs.SetTracer(nil)
+	}
 	ready := make(chan net.Addr, 1)
 	errc := make(chan error, 1)
 	go func() { errc <- dist.Serve(ctx, *listen, ready) }()
@@ -815,6 +863,14 @@ func cmdServe(args []string) error {
 	err := <-errc
 	if err == nil && ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "cs worker drained in-flight shard batches and stopped")
+	}
+	if err == nil && *traceFile != "" {
+		tr := obs.CurrentTracer()
+		if werr := tr.WriteFile(*traceFile); werr != nil {
+			return fmt.Errorf("write -trace: %w", werr)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events written to %s (load in https://ui.perfetto.dev)\n",
+			tr.Len(), *traceFile)
 	}
 	return err
 }

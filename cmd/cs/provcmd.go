@@ -1,0 +1,232 @@
+package main
+
+// Provenance-facing subcommands: `cs verify` (re-check run directories
+// against their manifests), `cs exp` (declarative experiment grids
+// with stamped repeats and manifest-driven analysis), and `cs bench
+// diff` (lane-by-lane comparison of two BENCH_*.json snapshots, the
+// CI regression gate).
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"carriersense/internal/exp"
+	"carriersense/internal/prov"
+)
+
+// cmdVerify is `cs verify DIR...`: each argument is either a run
+// directory (containing manifest.json) or a parent tree whose
+// manifested run directories are discovered recursively. Any tamper,
+// drift, or missing manifest exits nonzero.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	quiet := fs.Bool("quiet", false, "report only failures")
+	fs.Usage = func() { usage(fs.Output()) }
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: cs verify RUNDIR...")
+	}
+	var checked, failed int
+	for _, root := range fs.Args() {
+		dirs, err := verifyTargets(root)
+		if err != nil {
+			return err
+		}
+		for _, dir := range dirs {
+			checked++
+			m, err := prov.VerifyDir(dir)
+			if err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "FAIL %v\n", err)
+				continue
+			}
+			if !*quiet {
+				rev := m.VCS.Revision
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+				if rev == "" {
+					rev = "unknown-rev"
+				}
+				fmt.Printf("ok   %s  (%s, %d artifacts, %s)\n", dir, m.Scenario, len(m.Artifacts), rev)
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("cs verify: %d of %d run dirs failed verification", failed, checked)
+	}
+	if !*quiet {
+		fmt.Printf("cs verify: %d run dirs ok\n", checked)
+	}
+	return nil
+}
+
+// verifyTargets resolves one CLI argument to run directories: itself
+// when it holds a manifest, otherwise every manifested directory
+// beneath it. A tree with no manifests at all is an error — silence
+// would read as "verified".
+func verifyTargets(root string) ([]string, error) {
+	if _, err := os.Stat(filepath.Join(root, prov.ManifestName)); err == nil {
+		return []string{root}, nil
+	}
+	dirs, err := prov.FindManifests(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("cs verify: no %s found under %s", prov.ManifestName, root)
+	}
+	return dirs, nil
+}
+
+// cmdExp dispatches the experiment-pipeline family.
+func cmdExp(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: cs exp run -grid experiments.json -out DIR [run flags]\n       cs exp analyze DIR")
+	}
+	switch args[0] {
+	case "run":
+		return cmdExpRun(args[1:])
+	case "analyze":
+		return cmdExpAnalyze(args[1:])
+	default:
+		return fmt.Errorf("unknown exp command %q (want run or analyze)", args[0])
+	}
+}
+
+// cmdExpRun executes a declarative grid through the same executor
+// seams as `cs run` — fleet, cache, fault, and trace flags all apply;
+// the grid supplies the per-experiment identity knobs (scenario,
+// repeats, seed, scale, sampler, sets, grid axes).
+func cmdExpRun(args []string) error {
+	fs := flag.NewFlagSet("exp run", flag.ExitOnError)
+	gridPath := fs.String("grid", "experiments.json", "experiments grid file")
+	finish := runOptions(fs, false)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := finish()
+	if err != nil {
+		return err
+	}
+	if cfg.opts.OutDir == "" {
+		return fmt.Errorf("cs exp run: -out DIR required (runs are only useful as stamped artifacts)")
+	}
+	if cfg.prefetch {
+		return fmt.Errorf("cs exp run: -prefetch is not supported under exp (warm the cache with `cs all -cache -prefetch` first)")
+	}
+	g, err := exp.LoadGrid(*gridPath)
+	if err != nil {
+		return err
+	}
+	out := cfg.opts.OutDir
+	base := cfg.opts
+	base.OutDir = "" // exp places each run under out/<experiment>/
+	return runAndReport(cfg, func() error {
+		dirs, err := exp.RunGrid(context.Background(), g, exp.RunOptions{
+			Out:  out,
+			Base: base,
+			Log:  os.Stderr,
+		})
+		if err != nil {
+			return err
+		}
+		if cfg.opts.Stdout != nil {
+			fmt.Printf("%d stamped runs under %s; next: cs verify %s && cs exp analyze %s\n",
+				len(dirs), out, out, out)
+		}
+		return nil
+	})
+}
+
+func cmdExpAnalyze(args []string) error {
+	fs := flag.NewFlagSet("exp analyze", flag.ExitOnError)
+	quiet := fs.Bool("quiet", false, "suppress per-run verification lines")
+	fs.Usage = func() { usage(fs.Output()) }
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cs exp analyze DIR")
+	}
+	var log io.Writer
+	if !*quiet {
+		log = os.Stderr
+	}
+	return exp.Analyze(fs.Arg(0), log)
+}
+
+// gateFlag collects repeatable -gate lane=maxfrac values.
+type gateFlag map[string]float64
+
+func (g gateFlag) String() string { return fmt.Sprint(map[string]float64(g)) }
+func (g gateFlag) Set(v string) error {
+	lane, frac, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want lane=maxfrac, e.g. sim.allocs_per_event=0.5")
+	}
+	f, err := strconv.ParseFloat(frac, 64)
+	if err != nil {
+		return fmt.Errorf("bad gate fraction %q: %v", frac, err)
+	}
+	g[lane] = f
+	return nil
+}
+
+// cmdBench is `cs bench diff OLD.json NEW.json`: the perf-trajectory
+// comparator over two BENCH_*.json snapshots.
+func cmdBench(args []string) error {
+	if len(args) < 1 || args[0] != "diff" {
+		return fmt.Errorf("usage: cs bench diff [-threshold F] [-gate lane=maxfrac ...] [-all] [-o FILE] OLD.json NEW.json")
+	}
+	fs := flag.NewFlagSet("bench diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.10, "report lanes whose regression or improvement exceeds this fraction")
+	all := fs.Bool("all", false, "report every lane regardless of threshold")
+	outPath := fs.String("o", "", "write the markdown report to this file instead of stdout")
+	gates := gateFlag{}
+	fs.Var(&gates, "gate", "fail when lane regresses more than maxfrac (repeatable, lane=maxfrac)")
+	fs.Usage = func() { usage(fs.Output()) }
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: cs bench diff [flags] OLD.json NEW.json")
+	}
+	oldS, err := prov.LoadBench(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newS, err := prov.LoadBench(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d := prov.DiffSnapshots(oldS, newS, prov.DiffOptions{
+		ReportThreshold: *threshold,
+		All:             *all,
+		Gates:           gates,
+	})
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := d.WriteMarkdown(out); err != nil {
+		return err
+	}
+	if len(d.GateFailures) > 0 {
+		return fmt.Errorf("cs bench diff: %d gated lane(s) regressed past their threshold", len(d.GateFailures))
+	}
+	return nil
+}

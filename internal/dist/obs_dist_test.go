@@ -22,13 +22,19 @@ import (
 	"carriersense/internal/cache"
 	"carriersense/internal/dist"
 	"carriersense/internal/engine"
+	"carriersense/internal/fault"
 	"carriersense/internal/montecarlo"
 	"carriersense/internal/obs"
 )
 
 // volatileArtifacts are per-run observability outputs, excluded from
-// byte-identity by design: they carry wall-clock timings.
-var volatileArtifacts = map[string]bool{"metrics.json": true, "timings.csv": true}
+// byte-identity by design: they carry wall-clock timings (and, for
+// the provenance manifest, creation time plus the execution shape).
+var volatileArtifacts = map[string]bool{
+	"metrics.json":  true,
+	"timings.csv":   true,
+	"manifest.json": true,
+}
 
 func runToDir(t *testing.T, exec montecarlo.Executor) string {
 	t.Helper()
@@ -211,5 +217,60 @@ func TestStatsReportsDrainAndInflight(t *testing.T) {
 	s.BeginDrain()
 	if after := getStats(); string(after["draining"]) != "true" {
 		t.Errorf("draining = %s after BeginDrain", after["draining"])
+	}
+}
+
+// The PR 8 chaos families — fault injections, readmission probes,
+// hedged dispatch — must all be visible on a live worker /metrics
+// scrape: declared with TYPE lines (package-init registration keeps
+// them present even at zero), and the fired fault counted.
+func TestWorkerMetricsScrapeCoversFaultAndFleetFamilies(t *testing.T) {
+	srv := httptest.NewServer(dist.NewServer())
+	defer srv.Close()
+
+	// Baseline refuse count: the default registry is process-wide and
+	// other tests in the package may have fired refusals already.
+	refusedBefore := obs.Default().SnapshotFlows()[`cs_fault_injected_total{kind="refuse"}`]
+
+	// Arm a refuse-once plan and trip it: the worker severs the
+	// connection without a response, exactly like a dead TCP peer.
+	sched, err := fault.Parse("w1:refuse=1,seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Install(sched.Plan("w1"))
+	if _, err := http.Get(srv.URL + dist.PathHealthz); err == nil {
+		t.Fatal("refused request completed; want severed connection")
+	}
+	// Disarm before scraping so the scrape itself is not refused.
+	fault.Install(nil)
+
+	resp, err := http.Get(srv.URL + dist.PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := obs.CheckText(buf.String())
+	if err != nil {
+		t.Fatalf("worker /metrics is not valid Prometheus text: %v", err)
+	}
+	for family, kind := range map[string]string{
+		"cs_fault_injected_total":          "counter",
+		"cs_dist_readmit_probes_total":     "counter",
+		"cs_dist_workers_readmitted_total": "counter",
+		"cs_dist_hedges_total":             "counter",
+		"cs_dist_workers_abandoned_total":  "counter",
+	} {
+		if parsed.Types[family] != kind {
+			t.Errorf("%s type = %q, want %q", family, parsed.Types[family], kind)
+		}
+	}
+	refuse, ok := parsed.Value(`cs_fault_injected_total{kind="refuse"}`)
+	if !ok || refuse < refusedBefore+1 {
+		t.Errorf("refuse injections on scrape = %v (ok=%v), want >= %v", refuse, ok, refusedBefore+1)
 	}
 }

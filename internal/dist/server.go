@@ -24,6 +24,28 @@ import (
 	"carriersense/internal/obs"
 )
 
+// beginBatchSpan / endBatchSpan bracket one shard-batch evaluation
+// with a worker-side trace span (`cs serve -trace`). The worker's
+// timeline is the other end of the coordinator's per-worker dispatch
+// spans: dispatch minus batch duration is pure wire-and-queue time.
+// No tracer armed (the common case) costs one atomic load.
+func beginBatchSpan() (*obs.Tracer, time.Duration) {
+	tr := obs.CurrentTracer()
+	if tr == nil {
+		return nil, 0
+	}
+	return tr, tr.Now()
+}
+
+func endBatchSpan(tr *obs.Tracer, start time.Duration, kernel, wire string, shards int) {
+	if tr == nil {
+		return
+	}
+	tr.NameThread(obs.TidServer, "server")
+	tr.Span("batch "+kernel, "worker", obs.TidServer, start,
+		map[string]any{"wire": wire, "shards": shards})
+}
+
 // Server is a shard worker: it evaluates ShardJob batches against the
 // kernel registry linked into the binary and serves health and stats
 // probes. The zero value is not usable; call NewServer.
@@ -116,6 +138,7 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	evalStart := time.Now()
+	tr, traceStart := beginBatchSpan()
 	accs, err := montecarlo.EvaluateShards(job.Request, job.Indices)
 	if err != nil {
 		s.countFailure()
@@ -125,6 +148,7 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	endBatchSpan(tr, traceStart, job.Request.Kernel, "json", len(job.Indices))
 	wBatchEvalSeconds.Observe(time.Since(evalStart).Seconds())
 	resp := ShardResponse{Proto: ProtoVersion, Results: make([]ShardResult, len(job.Indices))}
 	sampleCount := 0

@@ -295,6 +295,7 @@ func (s *Server) serveStream(ss *streamSession) {
 				return
 			}
 			evalStart := time.Now()
+			tr, traceStart := beginBatchSpan()
 			accs, err := montecarlo.EvaluateShards(req, indices)
 			if err != nil {
 				// The caller's mistake (unknown kernel, bad params):
@@ -303,6 +304,7 @@ func (s *Server) serveStream(ss *streamSession) {
 				fail(err.Error())
 				return
 			}
+			endBatchSpan(tr, traceStart, req.Kernel, "binary", len(indices))
 			wBatchEvalSeconds.Observe(time.Since(evalStart).Seconds())
 			sampleCount := 0
 			for i := range accs {

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"carriersense/internal/cache"
+	"carriersense/internal/prov"
+)
+
+// runStamped runs a stub scenario with artifacts and returns its run
+// directory.
+func runStamped(t *testing.T, name string, opts Options) string {
+	t.Helper()
+	registerStub(t, name)
+	opts.OutDir = t.TempDir()
+	if _, err := Run(context.Background(), name, opts); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(opts.OutDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected one run dir, got %d", len(entries))
+	}
+	return filepath.Join(opts.OutDir, entries[0].Name())
+}
+
+func TestRunStampsVerifiableManifest(t *testing.T) {
+	runDir := runStamped(t, "stub-manifest", Options{
+		Seed:  "42",
+		Scale: "smoke",
+		Grid:  []string{"gain=3,4"},
+		Exec:  prov.ExecInfo{Parallel: 2, Experiment: "unit", Repeat: 1},
+	})
+	m, err := prov.VerifyDir(runDir)
+	if err != nil {
+		t.Fatalf("fresh run dir fails verification: %v", err)
+	}
+	if m.Scenario != "stub-manifest" || m.Scale != "smoke" || m.Seed != "42" {
+		t.Fatalf("manifest lost run identity: %+v", m)
+	}
+	if m.CacheKeyEpoch != cache.KeyEpoch {
+		t.Fatalf("manifest key epoch %d, want %d", m.CacheKeyEpoch, cache.KeyEpoch)
+	}
+	if m.Sampler != "plain" {
+		t.Fatalf("manifest sampler %q, want resolved default \"plain\"", m.Sampler)
+	}
+	if m.Exec.Experiment != "unit" || m.Exec.Parallel != 2 {
+		t.Fatalf("manifest lost exec shape: %+v", m.Exec)
+	}
+	if len(m.Variants) != 2 {
+		t.Fatalf("manifest has %d variants, want 2", len(m.Variants))
+	}
+	for _, v := range m.Variants {
+		if v.Metrics["gain"] == 0 {
+			t.Errorf("variant %q missing gain metric: %+v", v.Variant, v.Metrics)
+		}
+		if !strings.Contains(string(v.Params), `"Gain"`) {
+			t.Errorf("variant %q params not captured: %s", v.Variant, v.Params)
+		}
+	}
+	// Every artifact the run wrote must be manifested; a 2-variant grid
+	// writes 2x (txt + result.json + data.csv) plus metrics.json and
+	// timings.csv.
+	if len(m.Artifacts) != 8 {
+		names := make([]string, 0, len(m.Artifacts))
+		for _, a := range m.Artifacts {
+			names = append(names, a.Name)
+		}
+		t.Fatalf("manifested %d artifacts, want 8: %v", len(m.Artifacts), names)
+	}
+}
+
+// Acceptance criterion: flipping one byte of any artifact — or any
+// manifest field — makes verification fail.
+func TestRunManifestDetectsTamper(t *testing.T) {
+	runDir := runStamped(t, "stub-tamper", Options{Scale: "smoke"})
+	if _, err := prov.VerifyDir(runDir); err != nil {
+		t.Fatalf("pre-tamper verify: %v", err)
+	}
+	entries, err := os.ReadDir(runDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		path := filepath.Join(runDir, e.Name())
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flipped := append([]byte(nil), orig...)
+		flipped[len(flipped)/2] ^= 0x01
+		if err := os.WriteFile(path, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := prov.VerifyDir(runDir); err == nil {
+			t.Errorf("flipping a byte of %s went undetected", e.Name())
+		}
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := prov.VerifyDir(runDir); err != nil {
+		t.Fatalf("restored dir fails verification: %v", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"carriersense/internal/montecarlo"
 	"carriersense/internal/obs"
 	"carriersense/internal/plot"
+	"carriersense/internal/prov"
 	"carriersense/internal/sampling"
 )
 
@@ -64,6 +65,11 @@ type Options struct {
 	// run directory (artifacts: output.txt, result.json, *.csv) is
 	// created. Empty disables artifact files.
 	OutDir string
+	// Exec describes the execution shape (fleet, wire, cache, faults,
+	// experiment coordinates) for the run's provenance manifest. The
+	// engine cannot see through the Executor interface, so the caller
+	// that assembled the chain reports it here.
+	Exec prov.ExecInfo
 	// Stdout receives the live text report; nil discards it.
 	Stdout io.Writer
 	// Now stamps the run directory; zero means time.Now.
@@ -224,11 +230,11 @@ func Run(ctx context.Context, name string, opts Options) ([]*Result, error) {
 	points := ExpandGrid(axes)
 
 	runDir := ""
+	now := opts.Now
+	if now.IsZero() {
+		now = time.Now()
+	}
 	if opts.OutDir != "" {
-		now := opts.Now
-		if now.IsZero() {
-			now = time.Now()
-		}
 		var err error
 		runDir, err = makeRunDir(opts.OutDir, now.UTC().Format("20060102-150405")+"-"+sc.Name)
 		if err != nil {
@@ -258,11 +264,18 @@ func Run(ctx context.Context, name string, opts Options) ([]*Result, error) {
 		// contract: metrics.json carries the run summary (elapsed,
 		// samples, samples/sec) plus the registry delta, timings.csv the
 		// per-variant per-stage breakdown.
-		if err := writeRunMetrics(runDir, sc.Name, results, runSummary{
+		sum := runSummary{
 			Elapsed:          time.Since(runStart),
 			EvaluatedSamples: montecarlo.EvaluatedSamples() - preSamples,
 			RegistryDelta:    obs.SnapshotDelta(preSnap, obs.Default().SnapshotFlows()),
-		}); err != nil {
+		}
+		if err := writeRunMetrics(runDir, sc.Name, results, sum); err != nil {
+			return results, err
+		}
+		// Stamp provenance last: the manifest digests every artifact
+		// above, so anything written to the run dir after this point is
+		// drift that `cs verify` reports.
+		if err := writeManifest(runDir, sc.Name, scale, opts, results, sum, now); err != nil {
 			return results, err
 		}
 	}

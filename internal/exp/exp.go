@@ -1,0 +1,222 @@
+// Package exp is the paper-artifact pipeline: a declarative
+// experiments.json grid (repeats, scales, knobs) executed through the
+// ordinary engine/dist/cache seams, with every repeat's run directory
+// stamped by internal/prov. `cs exp run` drives RunGrid; `cs exp
+// analyze` walks the manifested runs and regenerates grouped CSVs,
+// LaTeX tables, and plots from provenance alone — a run that fails
+// verification is refused, not averaged in.
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"carriersense/internal/engine"
+)
+
+// GridFileName is the copy of the grid stored beside its runs.
+const GridFileName = "experiments.json"
+
+// Settings are the per-experiment knobs. Zero values inherit: an
+// experiment inherits from the file's defaults, which inherit from the
+// CLI flags `cs exp run` was invoked with (so fleet/cache shape stays
+// a deployment concern, not a grid concern).
+type Settings struct {
+	Scenario   string   `json:"scenario,omitempty"`
+	Repeats    int      `json:"repeats,omitempty"`
+	Seed       *int64   `json:"seed,omitempty"`
+	Scale      string   `json:"scale,omitempty"`
+	Sampler    string   `json:"sampler,omitempty"`
+	RelErr     float64  `json:"rel_err,omitempty"`
+	MaxSamples int      `json:"max_samples,omitempty"`
+	Set        []string `json:"set,omitempty"`
+	Grid       []string `json:"grid,omitempty"`
+}
+
+// Experiment is one named grid entry.
+type Experiment struct {
+	Name string `json:"name"`
+	Settings
+}
+
+// Grid is the experiments.json document.
+type Grid struct {
+	Defaults    Settings     `json:"defaults"`
+	Experiments []Experiment `json:"experiments"`
+
+	raw []byte // the file bytes, copied into the output root for provenance
+}
+
+// LoadGrid reads and validates an experiments.json file.
+func LoadGrid(path string) (*Grid, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g Grid
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return nil, fmt.Errorf("exp: parse %s: %w", path, err)
+	}
+	g.raw = raw
+	if len(g.Experiments) == 0 {
+		return nil, fmt.Errorf("exp: %s defines no experiments", path)
+	}
+	seen := map[string]bool{}
+	for i, e := range g.Experiments {
+		if e.Name == "" {
+			return nil, fmt.Errorf("exp: experiment %d has no name", i)
+		}
+		if seen[e.Name] {
+			return nil, fmt.Errorf("exp: duplicate experiment name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Scenario == "" && g.Defaults.Scenario == "" {
+			return nil, fmt.Errorf("exp: experiment %q names no scenario (and defaults don't either)", e.Name)
+		}
+		if e.Repeats < 0 {
+			return nil, fmt.Errorf("exp: experiment %q: repeats must be >= 1", e.Name)
+		}
+	}
+	return &g, nil
+}
+
+// resolve merges experiment-level settings over the file defaults.
+func (g *Grid) resolve(e Experiment) Settings {
+	s := e.Settings
+	d := g.Defaults
+	if s.Scenario == "" {
+		s.Scenario = d.Scenario
+	}
+	if s.Repeats == 0 {
+		s.Repeats = d.Repeats
+	}
+	if s.Repeats == 0 {
+		s.Repeats = 1
+	}
+	if s.Seed == nil {
+		s.Seed = d.Seed
+	}
+	if s.Scale == "" {
+		s.Scale = d.Scale
+	}
+	if s.Sampler == "" {
+		s.Sampler = d.Sampler
+	}
+	if s.RelErr == 0 {
+		s.RelErr = d.RelErr
+	}
+	if s.MaxSamples == 0 {
+		s.MaxSamples = d.MaxSamples
+	}
+	// Sets concatenate (defaults first, so experiment overrides win —
+	// engine applies -set values in order); grid axes do not inherit
+	// per-axis, an experiment's grid replaces the default one.
+	if len(d.Set) > 0 {
+		s.Set = append(append([]string{}, d.Set...), e.Set...)
+	}
+	if len(s.Grid) == 0 {
+		s.Grid = d.Grid
+	}
+	return s
+}
+
+// RunOptions configures one RunGrid invocation.
+type RunOptions struct {
+	// Out is the output root; each experiment's repeats land under
+	// Out/<name>/ as ordinary timestamped run directories.
+	Out string
+	// Base carries the CLI-resolved engine options: executor chain,
+	// parallelism, Exec provenance (fleet/wire/cache/fault shape). Grid
+	// settings override the identity fields (seed, scale, sampler,
+	// relerr, sets, grid) per experiment.
+	Base engine.Options
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// RunGrid executes every experiment's repeats and returns the run
+// directories in execution order. The grid file itself is copied to
+// Out/experiments.json so the output tree records what was asked for.
+func RunGrid(ctx context.Context, g *Grid, opts RunOptions) ([]string, error) {
+	if opts.Out == "" {
+		return nil, fmt.Errorf("exp: output root required")
+	}
+	if err := os.MkdirAll(opts.Out, 0o755); err != nil {
+		return nil, err
+	}
+	if len(g.raw) > 0 {
+		if err := os.WriteFile(filepath.Join(opts.Out, GridFileName), g.raw, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format, args...)
+		}
+	}
+	var runDirs []string
+	for _, e := range g.Experiments {
+		s := g.resolve(e)
+		for r := 0; r < s.Repeats; r++ {
+			ro := opts.Base
+			ro.Scale = s.Scale
+			ro.Sampler = s.Sampler
+			ro.RelErr = s.RelErr
+			ro.MaxSamples = s.MaxSamples
+			ro.Sets = s.Set
+			ro.Grid = s.Grid
+			ro.OutDir = filepath.Join(opts.Out, e.Name)
+			ro.Stdout = nil // repeats log progress, not 15 full reports
+			ro.Exec.Experiment = e.Name
+			ro.Exec.Repeat = r
+			if s.Seed != nil {
+				// Repeats are independent trials: each gets its own seed,
+				// derived deterministically so repeat r is reproducible in
+				// isolation with -seed <seed+r>.
+				ro.Seed = strconv.FormatInt(*s.Seed+int64(r), 10)
+			}
+			logf("exp %s repeat %d/%d: scenario=%s scale=%s seed=%s\n",
+				e.Name, r+1, s.Repeats, s.Scenario, ro.Scale, ro.Seed)
+			before, err := listRunDirs(ro.OutDir)
+			if err != nil {
+				return runDirs, err
+			}
+			if _, err := engine.Run(ctx, s.Scenario, ro); err != nil {
+				return runDirs, fmt.Errorf("exp %s repeat %d: %w", e.Name, r, err)
+			}
+			after, err := listRunDirs(ro.OutDir)
+			if err != nil {
+				return runDirs, err
+			}
+			for dir := range after {
+				if !before[dir] {
+					runDirs = append(runDirs, filepath.Join(ro.OutDir, dir))
+				}
+			}
+		}
+	}
+	logf("exp: %d runs under %s\n", len(runDirs), opts.Out)
+	return runDirs, nil
+}
+
+func listRunDirs(parent string) (map[string]bool, error) {
+	out := map[string]bool{}
+	entries, err := os.ReadDir(parent)
+	if os.IsNotExist(err) {
+		return out, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			out[e.Name()] = true
+		}
+	}
+	return out, nil
+}

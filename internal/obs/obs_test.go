@@ -355,3 +355,64 @@ func TestDefaultRegistrySingleton(t *testing.T) {
 		t.Fatal("Default() not a singleton")
 	}
 }
+
+// SnapshotDelta feeds per-variant manifest/metrics.json data while
+// other goroutines keep the registry hot. Deltas taken mid-churn must
+// be internally consistent: non-negative for monotone series, and the
+// sum of deltas across disjoint snapshot windows must equal the total
+// movement once the writers stop.
+func TestSnapshotDeltaConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("churn_total", "h")
+	h := r.Histogram("churn_seconds", "h", nil)
+	const writers, increments = 8, 5000
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < increments; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				if i%1000 == 0 {
+					// New series born mid-window: SnapshotDelta must treat
+					// an absent pre-key as zero, never as negative.
+					r.Counter("born_total", "h", Label{"writer", string(rune('a' + w))}).Inc()
+				}
+			}
+		}(w)
+	}
+	pre := r.SnapshotFlows()
+	close(start)
+	var windows []map[string]float64
+	for i := 0; i < 50; i++ {
+		post := r.SnapshotFlows()
+		windows = append(windows, SnapshotDelta(pre, post))
+		pre = post
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+	windows = append(windows, SnapshotDelta(pre, r.SnapshotFlows()))
+
+	var counterSum, histCountSum float64
+	for _, d := range windows {
+		for k, v := range d {
+			if v < 0 {
+				t.Fatalf("negative delta %s = %g in a mid-churn window", k, v)
+			}
+			if v == 0 {
+				t.Errorf("zero delta %s survived (SnapshotDelta must drop zeros)", k)
+			}
+		}
+		counterSum += d["churn_total"]
+		histCountSum += d["churn_seconds_count"]
+	}
+	if want := float64(writers * increments); counterSum != want {
+		t.Fatalf("windowed counter deltas sum to %g, want %g", counterSum, want)
+	}
+	if want := float64(writers * increments); histCountSum != want {
+		t.Fatalf("windowed histogram count deltas sum to %g, want %g", histCountSum, want)
+	}
+}

@@ -34,9 +34,12 @@ type TraceEvent struct {
 }
 
 // Well-known tracer thread IDs. Local pool workers use TidLocalBase+w,
-// remote workers TidRemoteBase+i in fleet order.
+// remote workers TidRemoteBase+i in fleet order. TidServer is the
+// worker-process lane: `cs serve -trace` records every shard batch it
+// evaluates there, the other end of the coordinator's dispatch spans.
 const (
 	TidEngine     = 1
+	TidServer     = 2
 	TidLocalBase  = 10
 	TidRemoteBase = 100
 )
@@ -92,7 +95,7 @@ func (t *Tracer) Span(name, cat string, tid int, start time.Duration, args map[s
 func (t *Tracer) Instant(name, cat string, tid int, args map[string]any) {
 	t.add(TraceEvent{
 		Name: name, Cat: cat, Ph: "i",
-		Ts: time.Since(t.start).Microseconds(),
+		Ts:  time.Since(t.start).Microseconds(),
 		Pid: 1, Tid: tid, Args: args,
 	})
 }

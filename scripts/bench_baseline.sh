@@ -160,10 +160,19 @@ for i in "${!scenarios[@]}"; do
 done
 sampling_json+="    ]\n  }\n"
 
+# Provenance header: which tree produced these numbers. `cs bench diff`
+# labels its columns with the commit, and a dirty flag warns that the
+# snapshot may not be reproducible from any commit at all.
+commit=$(git rev-parse HEAD 2>/dev/null || true)
+dirty=false
+[ -n "$(git status --porcelain 2>/dev/null)" ] && dirty=true
+
 {
     printf '{\n'
     printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+    printf '  "commit": "%s",\n' "$commit"
+    printf '  "dirty": %s,\n' "$dirty"
     printf '  "bench": "go test -short -run ^$ -bench . -benchtime 1x -benchmem .",\n'
     cat "$bench_json"
     printf '%b' "$sim_json"

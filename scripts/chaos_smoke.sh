@@ -25,6 +25,7 @@ cd "$(dirname "$0")/.."
 work=$(mktemp -d)
 cleanup() {
   kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true # reap: no orphaned cs serve outliving the script
   rm -rf "$work"
 }
 trap cleanup EXIT
@@ -66,6 +67,19 @@ if ! grep -q 'corrupt disk entries quarantined and recomputed' "$corrupt_log"; t
 fi
 if [ -z "$(ls "$work/cache/quarantine" 2>/dev/null)" ]; then
   echo "corrupt entry was not moved to the quarantine sidecar" >&2
+  exit 1
+fi
+# The run's own metrics.json must record the injection: a chaos run
+# whose fault counters read zero proves nothing. The registry key is
+# cs_fault_injected_total{kind="flip"}; inside the JSON document its
+# quotes are backslash-escaped, so strip the escapes before matching.
+cachechaos_dir=$(echo "$work"/cachechaos/*)
+flips=$(tr -d '\\' <"$cachechaos_dir/metrics.json" |
+  grep -o 'cs_fault_injected_total{kind="flip"}": *[0-9.]*' |
+  head -1 | grep -o '[0-9.]*$' | cut -d. -f1 || true)
+if [ "${flips:-0}" -eq 0 ]; then
+  echo "metrics.json records no cs_fault_injected_total{kind=flip} — the flip never fired:" >&2
+  cat "$cachechaos_dir/metrics.json" >&2
   exit 1
 fi
 

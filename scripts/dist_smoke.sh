@@ -20,6 +20,7 @@ cd "$(dirname "$0")/.."
 work=$(mktemp -d)
 cleanup() {
   kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true # reap: no orphaned cs serve outliving the script
   rm -rf "$work"
 }
 trap cleanup EXIT
