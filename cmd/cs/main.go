@@ -128,10 +128,19 @@ run/all flags:
   -parallel N    Monte Carlo worker pool width (default GOMAXPROCS);
                  results are bit-identical at any width
   -sampler NAME  Monte Carlo sampling strategy: plain (default),
-                 antithetic (mirrored draw pairs), or stratified
-                 (per-shard strata); part of the estimation identity,
-                 so results stay bit-identical at any -parallel width,
-                 -workers fleet size, and through -cache
+                 antithetic (mirrored draw pairs), stratified
+                 (per-shard strata), sobol (scrambled quasi-Monte
+                 Carlo), halton (rotated quasi-Monte Carlo fallback),
+                 cv (control variates against each kernel's exact
+                 sigma=0 quadrature twin), or auto (pilot every
+                 strategy per kernel, run the winner); part of the
+                 estimation identity, so results stay bit-identical at
+                 any -parallel width, -workers fleet size, and through
+                 -cache
+  -auto-table F  with -sampler auto: persist the per-kernel winners to
+                 F (JSON, stamped with the cache key epoch) so repeat
+                 runs skip the pilot rounds; defaults to
+                 <cache-dir>/sampler-choices.json when -cache is set
   -relerr T      adaptive budgets: grow each estimation point's sample
                  count (whole shards, nothing re-evaluated) until its
                  relative standard error is <= T; artifacts record
@@ -240,7 +249,8 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 	fs.StringVar(&opts.Seed, "seed", "", "override the scenario's Seed parameter")
 	fs.StringVar(&opts.Scale, "scale", "bench", "sampling effort: smoke, bench, or full")
 	fs.IntVar(&opts.Parallel, "parallel", 0, "worker pool width (0 = GOMAXPROCS)")
-	fs.StringVar(&opts.Sampler, "sampler", "", "sampling strategy: plain (default), antithetic, or stratified")
+	fs.StringVar(&opts.Sampler, "sampler", "", "sampling strategy: plain (default), antithetic, stratified, sobol, halton, cv, or auto")
+	fs.StringVar(&opts.AutoTable, "auto-table", "", "with -sampler auto: persist per-kernel choices to this JSON table (default: <cache-dir>/sampler-choices.json when -cache is set)")
 	fs.Float64Var(&opts.RelErr, "relerr", 0, "grow per-point budgets until this relative standard error is met")
 	fs.IntVar(&opts.MaxSamples, "max-samples", 0, "per-point budget cap for -relerr (0 = the scenario's own budget)")
 	workers := fs.String("workers", "", "distribute shards over cs serve workers (host:port,host:port,...)")
@@ -325,8 +335,13 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 		} else if *readmitBase != 0 {
 			return cfg, fmt.Errorf("-readmit-base requires -workers")
 		}
-		if err := sampling.Validate(opts.Sampler); err != nil {
-			return cfg, err
+		if opts.Sampler != sampling.Auto {
+			if err := sampling.Validate(opts.Sampler); err != nil {
+				return cfg, err
+			}
+			if opts.AutoTable != "" {
+				return cfg, fmt.Errorf("-auto-table requires -sampler auto")
+			}
 		}
 		if *useCache {
 			dir, err := resolveCacheDir(*cacheDir)
@@ -340,6 +355,13 @@ func runOptions(fs *flag.FlagSet, withSets bool) (finish func() (runConfig, erro
 			return cfg, fmt.Errorf("-cache-dir requires -cache")
 		} else if *cacheMaxBytes != 0 {
 			return cfg, fmt.Errorf("-cache-max-bytes requires -cache")
+		}
+		if opts.Sampler == sampling.Auto && opts.AutoTable == "" && cfg.cacheDir != "" {
+			// Default the choice table into the cache directory: both are
+			// KeyEpoch-scoped memoization of the same evaluation
+			// semantics, and the non-hex name is invisible to the cache's
+			// entry scans.
+			opts.AutoTable = filepath.Join(cfg.cacheDir, "sampler-choices.json")
 		}
 		if *prefetch {
 			if cfg.cache == nil {
@@ -711,7 +733,7 @@ func cmdCache(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("cache dir: %s\nentries:   %d\nsize:      %d bytes\n", st.Dir, st.Entries, st.Bytes)
+		fmt.Printf("cache dir: %s\nentries:   %d\nsize:      %d bytes\nkey epoch: %d\n", st.Dir, st.Entries, st.Bytes, cache.KeyEpoch)
 		if st.Quarantined > 0 {
 			fmt.Printf("quarantined: %d corrupt entries under %s/\n", st.Quarantined, cache.QuarantineDir)
 		}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"carriersense/internal/montecarlo"
+)
+
+func TestControlTwinsRegisteredForShadowedKernels(t *testing.T) {
+	for _, k := range []string{KernelAverages, KernelSingle, KernelPolicyDiff} {
+		if !montecarlo.HasControlTwin(k) {
+			t.Errorf("kernel %s has no control twin", k)
+		}
+	}
+}
+
+func TestSigma0PilotIsExact(t *testing.T) {
+	// On a σ = 0 environment the twin IS the kernel: the pilot must
+	// find β = 1 on every quadrature-backed component, and the adjusted
+	// variable is then the constant μ — zero variance, so the cv
+	// strategy converges at the driver's first probe.
+	req, ok := AveragesRequest(Params{Alpha: 3, SigmaDB: 0, NoiseDB: DefaultNoiseDB},
+		55, 40, 55, 9, 4*montecarlo.ShardSize)
+	if !ok {
+		t.Fatal("averages kernel must be serializable")
+	}
+	spec, err := montecarlo.PilotControl(req, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []int{idxSingle, idxMux, idxConc, idxCS, idxUBMax} {
+		if math.Abs(spec.Beta[j]-1) > 1e-9 {
+			t.Errorf("component %d: β = %v, want exactly 1 on a σ=0 lane", j, spec.Beta[j])
+		}
+	}
+	// The deferral indicator is a per-point constant at σ = 0: the twin
+	// has no variance to regress against, so the pilot's guard leaves
+	// it unadjusted.
+	if spec.Beta[idxDeferred] != 0 {
+		t.Errorf("constant component β = %v, want the 0-variance guard", spec.Beta[idxDeferred])
+	}
+	for _, j := range []int{idxMax, idxStarved} {
+		if spec.Beta[j] != 0 {
+			t.Errorf("NaN-mean component %d: β = %v, want 0", j, spec.Beta[j])
+		}
+	}
+
+	req.Control = spec
+	accs, err := montecarlo.RunRequest(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := accs[idxSingle].Estimate()
+	if est.StdErr > 1e-12 {
+		t.Errorf("σ=0 adjusted stderr %v, want 0", est.StdErr)
+	}
+}
+
+func TestTwinMeansMatchMonteCarlo(t *testing.T) {
+	// The quadrature means the pilot regresses against must agree with
+	// a Monte Carlo estimate of the twin integrand itself — a wrong μ
+	// would bias every cv result, not just inflate variance.
+	req, ok := AveragesRequest(Params{Alpha: 3, SigmaDB: 8, NoiseDB: DefaultNoiseDB},
+		55, 40, 55, 9, 4*montecarlo.ShardSize)
+	if !ok {
+		t.Fatal("averages kernel must be serializable")
+	}
+	m, p, err := sigma0Model(req.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := montecarlo.RunRequest(context.Background(), montecarlo.Request{
+		Kernel: KernelAverages, Params: alterSigma(t, req.Params), Seed: 9,
+		Samples: 8 * montecarlo.ShardSize, Dim: req.Dim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := []struct {
+		j    int
+		quad float64
+	}{
+		{idxSingle, m.AvgSingleQuad(p.Rmax)},
+		{idxConc, m.AvgConcQuad(p.Rmax, p.D)},
+		{idxUBMax, m.avgUBMaxQuad(p.Rmax, p.D)},
+	}
+	for _, c := range means {
+		est := twin[c.j].Estimate()
+		tol := 4*est.StdErr + 2e-3*math.Abs(c.quad)
+		if math.Abs(est.Mean-c.quad) > tol {
+			t.Errorf("component %d: quadrature %v vs σ=0 MC %v (stderr %v)", c.j, c.quad, est.Mean, est.StdErr)
+		}
+	}
+}
+
+// alterSigma rewrites the request params to σ = 0, mirroring
+// sigma0Model, so the σ = 0 kernel can run as an ordinary MC request.
+func alterSigma(t *testing.T, raw json.RawMessage) json.RawMessage {
+	t.Helper()
+	var p pointParams
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatal(err)
+	}
+	p.Env.SigmaDB = 0
+	out, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

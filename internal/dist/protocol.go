@@ -31,12 +31,15 @@ const (
 // ShardJob gains meaning an older binary would *silently mis-serve*
 // rather than reject — version 2 added Sampler and FirstShard, which a
 // version-1 worker's JSON decoder ignores, returning plain-sampler
-// full-plan accumulators that merge cleanly into wrong results. Both
-// sides enforce it: workers reject jobs carrying a different version,
-// and the coordinator rejects responses that do not echo it, so a
+// full-plan accumulators that merge cleanly into wrong results.
+// Version 3 added the control-variate spec (Request.Control): a
+// version-2 worker would drop the coefficients and return unadjusted
+// accumulators under the adjusted request's identity. Both sides
+// enforce it: workers reject jobs carrying a different version, and
+// the coordinator rejects responses that do not echo it, so a
 // mixed-version fleet fails loudly instead of corrupting the
 // determinism contract.
-const ProtoVersion = 2
+const ProtoVersion = 3
 
 // ShardJob is one batch of shard work: the full estimation identity
 // (the embedded montecarlo.Request, whose fields flatten into the

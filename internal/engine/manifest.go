@@ -41,6 +41,9 @@ func writeManifest(runDir, scenario, scale string, opts Options, results []*Resu
 	}
 	for _, res := range results {
 		m.Sampler = res.Sampler // resolved ("" -> "plain"), same for every variant
+		if res.SamplerChoices != nil {
+			m.SamplerChoices = res.SamplerChoices // auto runs: the resolved per-kernel winners
+		}
 		params, err := json.Marshal(res.Params)
 		if err != nil {
 			return fmt.Errorf("manifest: marshal %s params: %w", scenario, err)

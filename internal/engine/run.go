@@ -44,8 +44,15 @@ type Options struct {
 	// estimation ("" = plain). Strategies are registered in
 	// internal/sampling; the name becomes part of each request's
 	// identity (dist wire protocol, cache key), so sampled runs keep
-	// the full determinism contract.
+	// the full determinism contract. The virtual strategy "auto"
+	// installs the variance-aware auto-scheduler, which pilots the
+	// registered strategies per kernel and rewrites every request to
+	// the per-kernel winner before it reaches the wire or the cache.
 	Sampler string
+	// AutoTable, when non-empty with Sampler "auto", persists the
+	// scheduler's per-kernel choices as a cache.KeyEpoch-stamped JSON
+	// table so repeat runs skip the pilot rounds.
+	AutoTable string
 	// RelErr, when > 0, switches every kernel estimation into
 	// convergence mode: a sampling.Driver grows each point's budget
 	// geometrically (whole shards, no sample re-evaluated) until the
@@ -84,11 +91,16 @@ type Result struct {
 	// Sampler is the effective sampling strategy the variant ran under.
 	Sampler string `json:"sampler"`
 	// RelErr is the convergence target (0 = fixed budgets).
-	RelErr  float64            `json:"rel_err,omitempty"`
-	Params  any                `json:"params"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-	Text    string             `json:"-"`
-	Elapsed time.Duration      `json:"-"`
+	RelErr float64 `json:"rel_err,omitempty"`
+	// SamplerChoices are the auto-scheduler's resolved per-kernel
+	// strategies ("auto" runs only). The choice is a pure function of
+	// (kernel, params, seed), so the map is deterministic and safe in
+	// the byte-compared result.json.
+	SamplerChoices map[string]string  `json:"sampler_choices,omitempty"`
+	Params         any                `json:"params"`
+	Metrics        map[string]float64 `json:"metrics,omitempty"`
+	Text           string             `json:"-"`
+	Elapsed        time.Duration      `json:"-"`
 	// Perf carries the variant's observability data: wall time plus the
 	// delta of every obs registry series across the variant (stage
 	// timings, shard counts, wire bytes, cache traffic). It is
@@ -198,16 +210,28 @@ func Run(ctx context.Context, name string, opts Options) ([]*Result, error) {
 	if opts.MaxSamples > 0 && opts.RelErr == 0 {
 		return nil, fmt.Errorf("engine: -max-samples requires -relerr")
 	}
-	if err := sampling.Validate(opts.Sampler); err != nil {
-		return nil, err
-	}
-	if opts.Sampler != "" {
-		// Stamp the strategy into every kernel request issued during
-		// the run (the executor seam's sampler analogue).
-		if err := montecarlo.SetDefaultSampler(opts.Sampler); err != nil {
+	if opts.Sampler == sampling.Auto {
+		// "auto" is virtual: never registered, resolved per kernel by
+		// the AutoScheduler decorator runVariant installs. Stamp it
+		// unchecked; if the decorator were somehow absent, the first
+		// estimation fails loudly at sampler lookup.
+		montecarlo.ForceDefaultSampler(sampling.Auto)
+		defer montecarlo.ForceDefaultSampler("")
+	} else {
+		if err := sampling.Validate(opts.Sampler); err != nil {
 			return nil, err
 		}
-		defer func() { _ = montecarlo.SetDefaultSampler("") }()
+		if opts.Sampler != "" {
+			// Stamp the strategy into every kernel request issued during
+			// the run (the executor seam's sampler analogue).
+			if err := montecarlo.SetDefaultSampler(opts.Sampler); err != nil {
+				return nil, err
+			}
+			defer func() { _ = montecarlo.SetDefaultSampler("") }()
+		}
+	}
+	if opts.AutoTable != "" && opts.Sampler != sampling.Auto {
+		return nil, fmt.Errorf("engine: -auto-table requires -sampler auto")
 	}
 	scale := opts.Scale
 	if scale == "" {
@@ -388,6 +412,24 @@ func runVariant(ctx context.Context, sc Scenario, point GridPoint, scale string,
 		}
 		exec = driver
 	}
+	// The variance-reduction decorators sit outside the driver so a
+	// driven point's rounds all share one pilot β (cv) and one resolved
+	// strategy (auto): the coefficients are stamped on the full request
+	// before the driver splits it into ranged rounds.
+	var cvdec *sampling.ControlVariates
+	var auto *sampling.AutoScheduler
+	if opts.Sampler == sampling.CV || opts.Sampler == sampling.Auto {
+		cvdec = sampling.NewControlVariates(exec)
+		exec = cvdec
+	}
+	if opts.Sampler == sampling.Auto {
+		// Pilot probes bypass the driver/cv chain — a pilot is a
+		// fixed-budget measurement, not something to drive to
+		// convergence — and go to the configured base executor, so a
+		// fleet or cache still serves them.
+		auto = sampling.NewAuto(exec, opts.Executor, cvdec, sampling.AutoOptions{TablePath: opts.AutoTable, Target: opts.RelErr})
+		exec = auto
+	}
 	if exec == nil {
 		exec = localExecutor{}
 	}
@@ -463,7 +505,10 @@ func runVariant(ctx context.Context, sc Scenario, point GridPoint, scale string,
 		return nil, err
 	}
 	if driver != nil {
-		recordSampling(rc, driver)
+		recordSampling(rc, driver, cvdec, auto)
+	}
+	if auto != nil {
+		recordChoices(rc, auto)
 	}
 	res.Elapsed = time.Since(start)
 	res.Perf = obs.SnapshotDelta(pre, obs.Default().SnapshotFlows())
@@ -486,10 +531,21 @@ func runVariant(ctx context.Context, sc Scenario, point GridPoint, scale string,
 // and one summary line in the text report. Everything here is a pure
 // function of (params, seed, sampler, target), so the output stays
 // byte-stable under the determinism contract.
-func recordSampling(rc *RunContext, driver *sampling.Driver) {
+func recordSampling(rc *RunContext, driver *sampling.Driver, cvdec *sampling.ControlVariates, auto *sampling.AutoScheduler) {
 	reports := driver.Reports()
 	if len(reports) == 0 {
 		return
+	}
+	// Pilot honesty: the cv coefficient pilots and the auto-scheduler's
+	// candidate probes evaluate real samples the driver never sees.
+	// Fold them into the spend so savings claims pay for their own
+	// measurement overhead.
+	pilot := 0
+	if cvdec != nil {
+		pilot += cvdec.PilotSpent()
+	}
+	if auto != nil {
+		pilot += auto.PilotSpent()
 	}
 	rows := make([][]string, 0, len(reports))
 	for _, p := range reports {
@@ -510,11 +566,42 @@ func recordSampling(rc *RunContext, driver *sampling.Driver) {
 	}, rows)
 	s := driver.Summarize()
 	rc.Metric("sampling_points", float64(s.Points))
-	rc.Metric("sampling_spent", float64(s.Spent))
+	rc.Metric("sampling_spent", float64(s.Spent+pilot))
 	rc.Metric("sampling_converged", float64(s.Converged))
 	rc.Metric("sampling_capped", float64(s.Capped))
-	rc.Printf("\n[adaptive sampling] %d points, %d samples spent, %d converged, %d capped (target relerr %g)\n",
-		s.Points, s.Spent, s.Converged, s.Capped, reports[0].Target)
+	if pilot > 0 {
+		rc.Metric("sampling_pilot", float64(pilot))
+	}
+	rc.Printf("\n[adaptive sampling] %d points, %d samples spent (%d in pilots), %d converged, %d capped (target relerr %g)\n",
+		s.Points, s.Spent+pilot, pilot, s.Converged, s.Capped, reports[0].Target)
+}
+
+// recordChoices appends the auto-scheduler's resolved per-kernel
+// strategies to the variant: a text line, a sampler_choices.csv
+// artifact, and the Result field the manifest mirrors. Choices are a
+// pure function of (kernel, params, seed), so all of it is
+// deterministic.
+func recordChoices(rc *RunContext, auto *sampling.AutoScheduler) {
+	lines := auto.ChoiceLines()
+	if len(lines) == 0 {
+		return
+	}
+	rc.result.SamplerChoices = auto.Choices()
+	scores := auto.Scores()
+	rows := make([][]string, 0, len(lines))
+	for _, line := range lines {
+		kernel, choice, _ := strings.Cut(line, "=")
+		for _, ps := range scores[kernel] {
+			rows = append(rows, []string{
+				kernel, ps.Sampler, fmt.Sprintf("%.6g", ps.Score), fmt.Sprintf("%t", ps.Sampler == choice),
+			})
+		}
+		if len(scores[kernel]) == 0 { // table-loaded choice: no pilot this run
+			rows = append(rows, []string{kernel, choice, "", "true"})
+		}
+	}
+	rc.CSV("sampler_choices", []string{"kernel", "sampler", "score", "chosen"}, rows)
+	rc.Printf("[auto sampler] %s\n", strings.Join(lines, " "))
 }
 
 func writeArtifacts(runDir string, res *Result) error {

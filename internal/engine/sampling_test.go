@@ -3,6 +3,8 @@ package engine
 import (
 	"context"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -109,7 +111,7 @@ func TestRunRelErrProducesSamplingLedger(t *testing.T) {
 
 func TestRunValidatesSamplingOptions(t *testing.T) {
 	registerMCStub(t, "mcstub-validate", 2000)
-	if _, err := Run(context.Background(), "mcstub-validate", Options{Sampler: "sobol"}); err == nil {
+	if _, err := Run(context.Background(), "mcstub-validate", Options{Sampler: "latin-hypercube"}); err == nil {
 		t.Error("unknown sampler accepted")
 	}
 	if _, err := Run(context.Background(), "mcstub-validate", Options{RelErr: -1}); err == nil {
@@ -117,5 +119,41 @@ func TestRunValidatesSamplingOptions(t *testing.T) {
 	}
 	if _, err := Run(context.Background(), "mcstub-validate", Options{MaxSamples: 100}); err == nil {
 		t.Error("-max-samples without -relerr accepted")
+	}
+	if _, err := Run(context.Background(), "mcstub-validate", Options{AutoTable: "x.json"}); err == nil {
+		t.Error("-auto-table without -sampler auto accepted")
+	}
+}
+
+func TestRunAutoSamplerRecordsChoices(t *testing.T) {
+	registerMCStub(t, "mcstub-auto", 64*montecarlo.ShardSize)
+	table := filepath.Join(t.TempDir(), "choices.json")
+	results, err := Run(context.Background(), "mcstub-auto",
+		Options{Sampler: "auto", RelErr: 0.01, AutoTable: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	winner, ok := res.SamplerChoices["enginetest/uniform"]
+	if !ok || winner == "" {
+		t.Fatalf("no sampler choice recorded: %v", res.SamplerChoices)
+	}
+	if _, ok := res.csvs["sampler_choices"]; !ok {
+		t.Error("sampler_choices.csv artifact not registered")
+	}
+	if res.Metrics["sampling_pilot"] <= 0 {
+		t.Errorf("pilot spend %v not accounted", res.Metrics["sampling_pilot"])
+	}
+	if !strings.Contains(res.Text, "[auto sampler]") {
+		t.Errorf("report text missing the choice line: %q", res.Text)
+	}
+	if _, err := os.Stat(table); err != nil {
+		t.Errorf("choice table not persisted: %v", err)
+	}
+
+	// The default sampler must be restored after the run: a later
+	// plain run is unaffected by the forced virtual name.
+	if got := montecarlo.DefaultSampler(); got != "" {
+		t.Errorf("auto run left default sampler %q installed", got)
 	}
 }

@@ -44,7 +44,8 @@ func DefaultSamplingBench() SamplingBenchParams {
 // SamplerComparison is the outcome for one strategy.
 type SamplerComparison struct {
 	Sampler   string
-	Spent     int     // samples to reach the target across all points
+	Spent     int     // samples to reach the target across all points (pilots included)
+	Pilot     int     // of Spent, samples that went to β/auto pilots
 	Converged int     // points that reached the target
 	Points    int     // points driven
 	Savings   float64 // fraction of plain's samples avoided (0 for plain)
@@ -64,18 +65,37 @@ func SamplingBench(p SamplingBenchParams, scale Scale) []SamplerComparison {
 	prevSampler := montecarlo.DefaultSampler()
 	defer func() {
 		montecarlo.SetExecutor(prevExec)
-		_ = montecarlo.SetDefaultSampler(prevSampler)
+		montecarlo.ForceDefaultSampler(prevSampler)
 	}()
 
 	var out []SamplerComparison
 	var plainSpent int
-	for _, name := range []string{sampling.Plain, sampling.Antithetic, sampling.Stratified} {
+	for _, name := range []string{
+		sampling.Plain, sampling.Antithetic, sampling.Stratified,
+		sampling.Sobol, sampling.Halton, sampling.CV, sampling.Auto,
+	} {
 		driver, err := sampling.NewDriver(nil, sampling.DriverOptions{RelErr: p.Target, MaxSamples: cap})
 		if err != nil {
 			panic(err) // options are static; a failure is a programming error
 		}
-		montecarlo.SetExecutor(driver)
-		if err := montecarlo.SetDefaultSampler(name); err != nil {
+		// cv and auto need their coordinator-side decorators, exactly as
+		// the engine chains them: cv equips requests with pilot β, auto
+		// resolves the winner before anything reaches the driver.
+		var exec montecarlo.Executor = driver
+		var cvdec *sampling.ControlVariates
+		var auto *sampling.AutoScheduler
+		if name == sampling.CV || name == sampling.Auto {
+			cvdec = sampling.NewControlVariates(exec)
+			exec = cvdec
+		}
+		if name == sampling.Auto {
+			auto = sampling.NewAuto(exec, nil, cvdec, sampling.AutoOptions{Target: p.Target})
+			exec = auto
+		}
+		montecarlo.SetExecutor(exec)
+		if name == sampling.Auto {
+			montecarlo.ForceDefaultSampler(sampling.Auto)
+		} else if err := montecarlo.SetDefaultSampler(name); err != nil {
 			panic(err)
 		}
 		for i, d := range p.DValues {
@@ -85,10 +105,17 @@ func SamplingBench(p SamplingBenchParams, scale Scale) []SamplerComparison {
 		}
 		s := driver.Summarize()
 		c := SamplerComparison{Sampler: name, Spent: s.Spent, Converged: s.Converged, Points: s.Points}
+		if cvdec != nil {
+			c.Pilot += cvdec.PilotSpent()
+		}
+		if auto != nil {
+			c.Pilot += auto.PilotSpent()
+		}
+		c.Spent += c.Pilot // pilots are real evaluations; the ledger is honest
 		if name == sampling.Plain {
-			plainSpent = s.Spent
+			plainSpent = c.Spent
 		} else if plainSpent > 0 {
-			c.Savings = 1 - float64(s.Spent)/float64(plainSpent)
+			c.Savings = 1 - float64(c.Spent)/float64(plainSpent)
 		}
 		out = append(out, c)
 	}
@@ -107,14 +134,19 @@ func init() {
 			tbl := plot.Table{
 				Title: fmt.Sprintf("samples to RelErr <= %g on core/averages (Rmax=%.0f, sigma=%.0fdB, D=%v)",
 					p.Target, p.Rmax, p.SigmaDB, p.DValues),
-				Headers: []string{"sampler", "samples", "converged", "vs plain"},
+				Headers: []string{"sampler", "samples", "pilot", "per point", "converged", "vs plain"},
 			}
 			for _, c := range res {
 				vs := "—"
 				if c.Sampler != sampling.Plain {
 					vs = fmt.Sprintf("%+.0f%%", -100*c.Savings)
 				}
-				tbl.AddRow(c.Sampler, fmt.Sprintf("%d", c.Spent),
+				perPoint := 0
+				if c.Points > 0 {
+					perPoint = c.Spent / c.Points
+				}
+				tbl.AddRow(c.Sampler, fmt.Sprintf("%d", c.Spent), fmt.Sprintf("%d", c.Pilot),
+					fmt.Sprintf("%d", perPoint),
 					fmt.Sprintf("%d/%d", c.Converged, c.Points), vs)
 				rc.Metric(fmt.Sprintf("spent_%s", c.Sampler), float64(c.Spent))
 				rc.Metric(fmt.Sprintf("converged_%s", c.Sampler), float64(c.Converged))

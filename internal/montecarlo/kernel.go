@@ -188,6 +188,12 @@ type Request struct {
 	// FirstShard is the first shard index of the plan to evaluate
 	// (0 = the whole plan).
 	FirstShard int `json:"first_shard,omitempty"`
+	// Control, when non-nil, applies the control-variate adjustment to
+	// every evaluated sample (see control.go). Like Sampler it is part
+	// of the estimation's identity: the coefficients travel over the
+	// dist wire and are folded into the cache key, so an adjusted
+	// estimation reproduces bit-identically on any executor.
+	Control *ControlSpec `json:"control,omitempty"`
 }
 
 // Validate reports whether the request is well-formed (it does not
@@ -204,6 +210,11 @@ func (r Request) Validate() error {
 	}
 	if r.FirstShard < 0 || r.FirstShard >= ShardCount(r.Samples) {
 		return fmt.Errorf("montecarlo: request first shard %d out of plan range [0,%d)", r.FirstShard, ShardCount(r.Samples))
+	}
+	if r.Control != nil {
+		if err := r.Control.validate(r.Dim); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -274,10 +285,14 @@ func RunRequest(ctx context.Context, req Request) ([]Accumulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	cv, err := buildControl(req)
+	if err != nil {
+		return nil, err
+	}
 	shards := PlanShards(req.Seed, req.Samples)[req.FirstShard:]
 	accs := make([][]Accumulator, len(shards))
 	RunShards(shards, func(s Shard) {
-		accs[s.Index-req.FirstShard] = evalShard(ev, s, req.Dim, sp)
+		accs[s.Index-req.FirstShard] = evalShard(ev, s, req.Dim, sp, cv)
 	})
 	merged := make([]Accumulator, req.Dim)
 	for i := range accs {
@@ -307,6 +322,10 @@ func EvaluateShards(req Request, indices []int) ([][]Accumulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	cv, err := buildControl(req)
+	if err != nil {
+		return nil, err
+	}
 	shards := PlanShards(req.Seed, req.Samples)
 	selected := make([]Shard, len(indices))
 	position := make(map[int]int, len(indices))
@@ -322,7 +341,7 @@ func EvaluateShards(req Request, indices []int) ([][]Accumulator, error) {
 	}
 	results := make([][]Accumulator, len(indices))
 	RunShards(selected, func(s Shard) {
-		results[position[s.Index]] = evalShard(ev, s, req.Dim, sp)
+		results[position[s.Index]] = evalShard(ev, s, req.Dim, sp, cv)
 	})
 	return results, nil
 }
@@ -338,14 +357,15 @@ const batchChunk = 512
 // with a registered batch form are evaluated a chunk at a time into a
 // preallocated flat buffer; rows are accumulated in sample order, so
 // the two paths produce identical accumulators. Under any other
-// sampler the per-sample form runs over the sampler's stream, with
-// each group of Group() consecutive samples folded into one
-// accumulator observation (their mean) — for antithetic pairs that is
-// what lets the accumulator's standard error see the negative
-// within-pair covariance instead of only the marginal variance.
-func evalShard(ev kernelEval, s Shard, dim int, sp Sampler) []Accumulator {
-	if _, plain := sp.(plainSampler); !plain && sp != nil {
-		return evalShardSampled(ev, s, dim, sp)
+// sampler — or whenever a control-variate adjustment is attached —
+// the per-sample form runs over the sampler's stream, with each group
+// of Group() consecutive samples folded into one accumulator
+// observation (their mean) — for antithetic pairs that is what lets
+// the accumulator's standard error see the negative within-pair
+// covariance instead of only the marginal variance.
+func evalShard(ev kernelEval, s Shard, dim int, sp Sampler, cv *controlEval) []Accumulator {
+	if _, plain := sp.(plainSampler); cv != nil || (!plain && sp != nil) {
+		return evalShardSampled(ev, s, dim, sp, cv)
 	}
 	accs := make([]Accumulator, dim)
 	defer addEvaluatedSamples(s.N)
@@ -391,18 +411,33 @@ func evalShard(ev kernelEval, s Shard, dim int, sp Sampler) []Accumulator {
 // evalShardSampled is the sampler-transformed shard evaluation: one
 // stream per shard, one Next() per sample, groups averaged into the
 // accumulators. The sample order, the group boundaries, and the
-// accumulation order are all pure functions of (shard, sampler), so
-// the result is bit-identical on any executor at any parallelism. A
-// trailing partial group (only possible in a plan's partial last
-// shard, since Group divides ShardSize) averages over the samples it
-// has.
-func evalShardSampled(ev kernelEval, s Shard, dim int, sp Sampler) []Accumulator {
+// accumulation order are all pure functions of (shard, sampler,
+// control spec), so the result is bit-identical on any executor at
+// any parallelism. A trailing partial group (only possible in a
+// plan's partial last shard, since Group divides ShardSize) averages
+// over the samples it has.
+//
+// With a control adjustment attached (cv non-nil), each sample's
+// uniforms are recorded while the real kernel runs, replayed into the
+// twin, and the sample adjusted to out_j − β_j·(twin_j − μ_j) before
+// accumulation — so the accumulator states (and everything downstream:
+// merge, wire, cache) are states of the adjusted variable.
+func evalShardSampled(ev kernelEval, s Shard, dim int, sp Sampler, cv *controlEval) []Accumulator {
 	accs := make([]Accumulator, dim)
 	defer addEvaluatedSamples(s.N)
 	stream := sp.Stream(s.N, s.Src)
 	group := sp.Group()
 	out := make([]float64, dim)
 	sum := make([]float64, dim)
+	var (
+		rp   *replayPair
+		cur  *rng.Source
+		tout []float64
+	)
+	if cv != nil {
+		rp = newReplayPair(func() *rng.Source { return cur })
+		tout = make([]float64, dim)
+	}
 	for i := 0; i < s.N; {
 		for j := range sum {
 			sum[j] = 0
@@ -413,7 +448,23 @@ func evalShardSampled(ev kernelEval, s Shard, dim int, sp Sampler) []Accumulator
 			for j := range out {
 				out[j] = 0
 			}
-			ev.fn(src, out)
+			if cv == nil {
+				ev.fn(src, out)
+			} else {
+				cur = src
+				rp.beginSample()
+				ev.fn(rp.record, out)
+				for j := range tout {
+					tout[j] = 0
+				}
+				rp.beginReplay()
+				cv.fn(rp.replay, tout)
+				for j, b := range cv.beta {
+					if b != 0 {
+						out[j] -= b * (tout[j] - cv.mean[j])
+					}
+				}
+			}
 			for j, v := range out {
 				sum[j] += v
 			}

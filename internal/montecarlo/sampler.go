@@ -98,6 +98,18 @@ func HasSampler(name string) bool {
 	return ok
 }
 
+// SamplerGroup returns the observation group size of a registered
+// sampler ("" = plain). The convergence driver sizes its sub-shard
+// probe round from it: a probe must hold enough whole groups for an
+// honest standard-error estimate.
+func SamplerGroup(name string) (int, error) {
+	s, err := lookupSampler(name)
+	if err != nil {
+		return 0, err
+	}
+	return s.Group(), nil
+}
+
 // lookupSampler resolves a sampler name; "" resolves to plain.
 func lookupSampler(name string) (Sampler, error) {
 	if name == "" {
@@ -155,6 +167,18 @@ func SetDefaultSampler(name string) error {
 	return nil
 }
 
+// ForceDefaultSampler installs a default sampler name without
+// registry validation — for virtual strategies that an installed
+// executor decorator resolves to a registered name before any shard
+// evaluation (internal/sampling's auto-scheduler). If no decorator
+// intercepts the name, the first estimation fails loudly at sampler
+// lookup rather than silently running plain.
+func ForceDefaultSampler(name string) {
+	defaultSamplerMu.Lock()
+	defaultSampler = name
+	defaultSamplerMu.Unlock()
+}
+
 // DefaultSampler returns the installed default sampler name ("" =
 // plain).
 func DefaultSampler() string {
@@ -177,7 +201,7 @@ func SampledMeanVec(sampler string, seed uint64, n, dim int, f EvalFunc) ([]Esti
 	shards := PlanShards(seed, n)
 	accs := make([][]Accumulator, len(shards))
 	RunShards(shards, func(s Shard) {
-		accs[s.Index] = evalShard(kernelEval{fn: f}, s, dim, sp)
+		accs[s.Index] = evalShard(kernelEval{fn: f}, s, dim, sp, nil)
 	})
 	result := make([]Estimate, dim)
 	for j := 0; j < dim; j++ {

@@ -116,14 +116,18 @@ type Manifest struct {
 	Created time.Time `json:"created"`
 
 	// Request identity.
-	Scenario   string   `json:"scenario"`
-	Scale      string   `json:"scale"`
-	Seed       string   `json:"seed,omitempty"`
-	Sampler    string   `json:"sampler,omitempty"`
-	RelErr     float64  `json:"rel_err,omitempty"`
-	MaxSamples int      `json:"max_samples,omitempty"`
-	Sets       []string `json:"sets,omitempty"`
-	Grid       []string `json:"grid,omitempty"`
+	Scenario string `json:"scenario"`
+	Scale    string `json:"scale"`
+	Seed     string `json:"seed,omitempty"`
+	Sampler  string `json:"sampler,omitempty"`
+	// SamplerChoices records the auto-scheduler's resolved per-kernel
+	// strategies when the run was `-sampler auto` — what actually
+	// evaluated the shards, where Sampler only records the request.
+	SamplerChoices map[string]string `json:"sampler_choices,omitempty"`
+	RelErr         float64           `json:"rel_err,omitempty"`
+	MaxSamples     int               `json:"max_samples,omitempty"`
+	Sets           []string          `json:"sets,omitempty"`
+	Grid           []string          `json:"grid,omitempty"`
 	// CacheKeyEpoch is the result-cache key-space version the binary
 	// ran under: two runs with equal identity but different epochs may
 	// differ in which work was recomputed versus served from disk.

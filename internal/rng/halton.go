@@ -1,0 +1,50 @@
+package rng
+
+import "math"
+
+// Halton sequence generation: the quasi-Monte Carlo fallback behind
+// internal/sampling's `halton` strategy. Coordinate d of point i is
+// the radical inverse of i in the d-th prime base — simpler state
+// than Sobol (just the point index) and defined for any dimension
+// count, at the cost of visibly poorer equidistribution in higher
+// bases. Scrambling is a Cranley-Patterson rotation: each coordinate
+// is shifted modulo 1 by a caller-supplied uniform offset, which
+// makes every individual point uniform on [0,1)^d (so block means
+// stay unbiased) and independent rotations across blocks make block
+// means iid randomized-QMC replicates.
+
+// HaltonMaxDim is the number of prime bases provided.
+const HaltonMaxDim = 25
+
+// haltonPrimes are the first HaltonMaxDim primes, one base per
+// dimension.
+var haltonPrimes = [HaltonMaxDim]uint32{
+	2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+	31, 37, 41, 43, 47, 53, 59, 61, 67, 71,
+	73, 79, 83, 89, 97,
+}
+
+// RadicalInverse returns the radical inverse of i in the given base:
+// the digits of i reflected about the radix point. Base must be >= 2.
+func RadicalInverse(base uint32, i uint32) float64 {
+	inv := 1 / float64(base)
+	f := inv
+	x := 0.0
+	for ; i > 0; i /= base {
+		x += float64(i%base) * f
+		f *= inv
+	}
+	return x
+}
+
+// HaltonCoord returns coordinate d of Halton point i, rotated by rot
+// (Cranley-Patterson: the fractional part of inverse + rot). d must be
+// in [0, HaltonMaxDim).
+func HaltonCoord(d int, i uint32, rot float64) float64 {
+	u := RadicalInverse(haltonPrimes[d], i) + rot
+	u -= math.Floor(u)
+	if u >= 1 { // rot == 1-ulp rounding guard
+		u = 0
+	}
+	return u
+}

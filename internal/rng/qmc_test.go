@@ -1,0 +1,129 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSobolDim0IsVanDerCorput(t *testing.T) {
+	// Unshifted dimension 0 is the base-2 van der Corput sequence; in
+	// Gray-code order the first points enumerate the same set as the
+	// natural order within each power-of-two block.
+	var shift [SobolMaxDim]uint32
+	s := NewSobol(&shift)
+	want := []float64{0, 0.5, 0.75, 0.25, 0.375, 0.875, 0.625, 0.125}
+	got := []float64{s.Coord(0)}
+	for i := 1; i < len(want); i++ {
+		s.Next()
+		got = append(got, s.Coord(0))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d dim 0 = %v, want %v (sequence %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSobolBlocksAreBalanced(t *testing.T) {
+	// Any 2^k-point prefix of an (unshifted) Sobol net puts exactly one
+	// point in each dyadic interval [j/2^k, (j+1)/2^k) of every
+	// dimension — the defining (0, m, s)-net property the variance
+	// reduction rests on.
+	const k = 6 // 64 points, the sampling.SobolBlock size
+	var shift [SobolMaxDim]uint32
+	s := NewSobol(&shift)
+	for d := 0; d < SobolMaxDim; d++ {
+		seen := make([]int, 1<<k)
+		s2 := NewSobol(&shift)
+		for i := 0; i < 1<<k; i++ {
+			if i > 0 {
+				s2.Next()
+			}
+			seen[int(s2.Coord(d)*(1<<k))]++
+		}
+		for j, n := range seen {
+			if n != 1 {
+				t.Fatalf("dim %d: interval %d/%d holds %d points, want 1", d, j, 1<<k, n)
+			}
+		}
+	}
+	_ = s
+}
+
+func TestSobolDigitalShiftPreservesStructure(t *testing.T) {
+	// A digital shift XORs every point with the same word, so the XOR
+	// difference between any two points is shift-invariant, and point 0
+	// is the shift itself.
+	var zero [SobolMaxDim]uint32
+	var shift [SobolMaxDim]uint32
+	for d := range shift {
+		shift[d] = 0xdeadbeef ^ uint32(d)*0x9e3779b9
+	}
+	a, b := NewSobol(&zero), NewSobol(&shift)
+	if got := b.Coord(0); got != float64(shift[0])*0x1p-32 {
+		t.Errorf("shifted point 0 = %v, want the shift %v", got, float64(shift[0])*0x1p-32)
+	}
+	for i := 0; i < 100; i++ {
+		a.Next()
+		b.Next()
+		for d := 0; d < SobolMaxDim; d++ {
+			ua := uint32(a.Coord(d) * (1 << 32))
+			ub := uint32(b.Coord(d) * (1 << 32))
+			if ua^ub != shift[d] {
+				t.Fatalf("point %d dim %d: xor difference %#x, want shift %#x", i, d, ua^ub, shift[d])
+			}
+		}
+	}
+}
+
+func TestRadicalInverseKnownValues(t *testing.T) {
+	cases := []struct {
+		base, i uint32
+		want    float64
+	}{
+		{2, 0, 0}, {2, 1, 0.5}, {2, 2, 0.25}, {2, 3, 0.75}, {2, 4, 0.125},
+		{3, 1, 1.0 / 3}, {3, 2, 2.0 / 3}, {3, 3, 1.0 / 9}, {3, 4, 4.0 / 9},
+		{5, 7, 2.0/5 + 1.0/25},
+	}
+	for _, c := range cases {
+		if got := RadicalInverse(c.base, c.i); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("RadicalInverse(%d, %d) = %v, want %v", c.base, c.i, got, c.want)
+		}
+	}
+}
+
+func TestHaltonCoordRotation(t *testing.T) {
+	// The Cranley-Patterson rotation is a modulo-1 shift and always
+	// lands in [0,1), including the wraparound rounding edge.
+	if got := HaltonCoord(0, 1, 0.75); math.Abs(got-0.25) > 1e-15 {
+		t.Errorf("rotated coord = %v, want 0.25", got)
+	}
+	if got := HaltonCoord(0, 0, math.Nextafter(1, 0)); got < 0 || got >= 1 {
+		t.Errorf("edge rotation produced %v outside [0,1)", got)
+	}
+	for d := 0; d < HaltonMaxDim; d++ {
+		for i := uint32(0); i < 50; i++ {
+			if u := HaltonCoord(d, i, 0.618); u < 0 || u >= 1 {
+				t.Fatalf("dim %d point %d: coord %v outside [0,1)", d, i, u)
+			}
+		}
+	}
+}
+
+func TestHaltonLowBasesStratify(t *testing.T) {
+	// Base 2 and base 3: the first b^k points hit every 1/b^k interval
+	// exactly once.
+	for d, cells := range map[int]int{0: 16, 1: 27} {
+		seen := make([]int, cells)
+		for i := 0; i < cells; i++ {
+			// Tiny epsilon: base-3 radical inverses accumulate in floats,
+			// so a cell boundary can land one ulp low.
+			seen[int(HaltonCoord(d, uint32(i), 0)*float64(cells)+1e-9)]++
+		}
+		for j, n := range seen {
+			if n != 1 {
+				t.Errorf("dim %d: interval %d/%d holds %d points, want 1", d, j, cells, n)
+			}
+		}
+	}
+}

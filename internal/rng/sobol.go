@@ -1,0 +1,138 @@
+package rng
+
+// Scrambled Sobol sequence generation: the quasi-Monte Carlo point
+// source behind internal/sampling's `sobol` strategy. A Sobol point
+// set covers the unit cube far more evenly than iid uniforms, so the
+// mean over one block of points converges like ~1/N (times log
+// factors) instead of 1/sqrt(N) for the smooth, low-effective-
+// dimension integrands this repository estimates (capacity vs the
+// receiver's radial draw is the dominant axis, and the draw order
+// puts it in dimension 0).
+//
+// The generator is the classic Gray-code construction over binary
+// direction numbers (Antonov-Saleev): point i+1 differs from point i
+// in exactly one direction number, selected by the lowest zero bit of
+// i, so advancing costs one XOR per dimension. Direction numbers are
+// initialized Joe-Kuo style (primitive polynomial degree s, interior
+// coefficients a, initial odd m values) for SobolMaxDim dimensions —
+// enough for every kernel's per-sample draw count (the heaviest
+// two-pair kernel consumes 9 uniforms per sample).
+//
+// Scrambling is a digital shift: every coordinate is XORed with a
+// caller-supplied random 32-bit word. A uniformly drawn shift makes
+// each individual point uniform on [0,1)^d — so any block mean stays
+// unbiased — while preserving the net's relative structure, and
+// independent shifts across blocks make block means iid, which is
+// what turns the tracked standard error into a usable randomized-QMC
+// error estimate.
+
+import "math/bits"
+
+// SobolMaxDim is the number of dimensions the direction-number table
+// supports. Consumers needing more dimensions per point must fall
+// back to pseudorandom draws for the excess.
+const SobolMaxDim = 21
+
+// sobolBits is the bit depth of each coordinate; values are the top
+// 32 bits of the unit interval.
+const sobolBits = 32
+
+// sobolInit is one dimension's Joe-Kuo initialization: primitive
+// polynomial degree s, interior coefficient bits a, and the first s
+// odd direction values m (new-joe-kuo-6 ordering). Dimension 0 is the
+// van der Corput sequence and needs no entry.
+type sobolInit struct {
+	s uint
+	a uint32
+	m []uint32
+}
+
+var sobolTable = [SobolMaxDim - 1]sobolInit{
+	{1, 0, []uint32{1}},
+	{2, 1, []uint32{1, 3}},
+	{3, 1, []uint32{1, 3, 1}},
+	{3, 2, []uint32{1, 1, 1}},
+	{4, 1, []uint32{1, 1, 3, 3}},
+	{4, 4, []uint32{1, 3, 5, 13}},
+	{5, 2, []uint32{1, 1, 5, 5, 17}},
+	{5, 4, []uint32{1, 1, 5, 5, 5}},
+	{5, 7, []uint32{1, 1, 7, 11, 19}},
+	{5, 11, []uint32{1, 1, 5, 1, 1}},
+	{5, 13, []uint32{1, 1, 1, 3, 11}},
+	{5, 14, []uint32{1, 3, 5, 5, 31}},
+	{6, 1, []uint32{1, 3, 3, 9, 7, 49}},
+	{6, 13, []uint32{1, 1, 1, 15, 21, 21}},
+	{6, 16, []uint32{1, 3, 1, 13, 27, 49}},
+	{6, 19, []uint32{1, 1, 1, 15, 7, 5}},
+	{6, 22, []uint32{1, 3, 1, 17, 63, 13}},
+	{6, 25, []uint32{1, 1, 5, 5, 19, 1}},
+	{7, 1, []uint32{1, 1, 5, 5, 41, 11, 61}},
+	{7, 4, []uint32{1, 3, 7, 11, 13, 29, 3}},
+}
+
+// sobolV[d][k] is direction number k of dimension d, aligned to the
+// top of a 32-bit word. Built once at init from sobolTable.
+var sobolV [SobolMaxDim][sobolBits]uint32
+
+func init() {
+	// Dimension 0: van der Corput in base 2 — V[k] = 2^(31-k).
+	for k := 0; k < sobolBits; k++ {
+		sobolV[0][k] = 1 << (31 - k)
+	}
+	for d := 1; d < SobolMaxDim; d++ {
+		t := sobolTable[d-1]
+		s := int(t.s)
+		m := make([]uint32, sobolBits)
+		copy(m, t.m)
+		// Joe-Kuo recurrence: m_k = m_{k-s} ⊕ 2^s m_{k-s} ⊕ Σ 2^i a_i m_{k-i}.
+		for k := s; k < sobolBits; k++ {
+			v := m[k-s] ^ (m[k-s] << t.s)
+			for i := 1; i < s; i++ {
+				if (t.a>>(s-1-i))&1 == 1 {
+					v ^= m[k-i] << i
+				}
+			}
+			m[k] = v
+		}
+		for k := 0; k < sobolBits; k++ {
+			sobolV[d][k] = m[k] << (31 - k)
+		}
+	}
+}
+
+// Sobol enumerates one digitally-shifted Sobol point block in Gray-code
+// order. The zero value is NOT usable; construct with NewSobol.
+type Sobol struct {
+	x [SobolMaxDim]uint32 // current point, shift already applied
+	i uint32              // index of the current point within the block
+}
+
+// NewSobol starts a Sobol block at point 0 with the given per-dimension
+// digital shift (point 0 is the shift itself: the unscrambled sequence
+// starts at the origin). A shift drawn uniformly at random makes every
+// point of the block individually uniform on [0,1)^d.
+func NewSobol(shift *[SobolMaxDim]uint32) *Sobol {
+	s := &Sobol{}
+	s.x = *shift
+	return s
+}
+
+// Next advances to the next point of the block. Gray-code enumeration
+// of indices 0..2^k-1 visits exactly the first 2^k points of the
+// natural-order sequence, so any power-of-two block prefix is a
+// complete Sobol point set.
+func (s *Sobol) Next() {
+	s.i++
+	c := bits.TrailingZeros32(s.i)
+	if c >= sobolBits {
+		c = sobolBits - 1 // index wrapped; keep advancing deterministically
+	}
+	for d := 0; d < SobolMaxDim; d++ {
+		s.x[d] ^= sobolV[d][c]
+	}
+}
+
+// Coord returns coordinate d of the current point, in [0, 1).
+func (s *Sobol) Coord(d int) float64 {
+	return float64(s.x[d]) * 0x1p-32
+}

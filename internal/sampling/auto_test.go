@@ -1,0 +1,161 @@
+package sampling
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"carriersense/internal/cache"
+	"carriersense/internal/montecarlo"
+)
+
+func autoReq(samples int) montecarlo.Request {
+	r := driveReq(1, Auto, samples)
+	return r
+}
+
+// recordingExecutor remembers the sampler of every non-pilot request.
+type recordingExecutor struct {
+	inner    montecarlo.Executor
+	samplers []string
+}
+
+func (r *recordingExecutor) EstimateVec(ctx context.Context, req montecarlo.Request) ([]montecarlo.Accumulator, error) {
+	r.samplers = append(r.samplers, req.Sampler)
+	return r.inner.EstimateVec(ctx, req)
+}
+
+func TestAutoResolvesDeterministically(t *testing.T) {
+	run := func() (string, []PilotScore) {
+		a := NewAuto(localExecutor{}, nil, NewControlVariates(nil), AutoOptions{Target: 0.005})
+		if _, err := a.EstimateVec(context.Background(), autoReq(2*montecarlo.ShardSize)); err != nil {
+			t.Fatal(err)
+		}
+		return a.Choices()["drive/noisy"], a.Scores()["drive/noisy"]
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 == "" || c1 != c2 {
+		t.Errorf("choices differ between identical runs: %q vs %q", c1, c2)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("scoreboards differ in length: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Errorf("pilot score %d differs: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+	// drive/noisy has no control twin, so cv must not be a candidate.
+	for _, s := range s1 {
+		if s.Sampler == CV {
+			t.Error("cv piloted for a twinless kernel")
+		}
+	}
+}
+
+func TestAutoRewritesToWinnerOnly(t *testing.T) {
+	rec := &recordingExecutor{inner: localExecutor{}}
+	a := NewAuto(rec, nil, nil, AutoOptions{})
+	if _, err := a.EstimateVec(context.Background(), autoReq(2*montecarlo.ShardSize)); err != nil {
+		t.Fatal(err)
+	}
+	winner := a.Choices()["drive/noisy"]
+	if winner == "" {
+		t.Fatal("no winner resolved")
+	}
+	for _, s := range rec.samplers {
+		if s == Auto {
+			t.Error("the virtual auto name leaked past the scheduler")
+		}
+	}
+	// A second request for the same kernel skips the pilots entirely.
+	spent := a.PilotSpent()
+	if _, err := a.EstimateVec(context.Background(), autoReq(montecarlo.ShardSize)); err != nil {
+		t.Fatal(err)
+	}
+	if a.PilotSpent() != spent {
+		t.Error("repeat request re-piloted a resolved kernel")
+	}
+}
+
+func TestAutoResultBitIdenticalToFixedWinner(t *testing.T) {
+	a := NewAuto(localExecutor{}, nil, nil, AutoOptions{})
+	got, err := a.EstimateVec(context.Background(), autoReq(2*montecarlo.ShardSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	winner := a.Choices()["drive/noisy"]
+	name := winner
+	if name == Plain {
+		name = ""
+	}
+	want, err := montecarlo.RunRequest(context.Background(), driveReq(1, name, 2*montecarlo.ShardSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want[0] {
+		t.Errorf("auto result != fixed %q result", winner)
+	}
+}
+
+func TestAutoChoiceTablePersistsAndSkipsPilots(t *testing.T) {
+	table := filepath.Join(t.TempDir(), "choices", "table.json")
+	cold := NewAuto(localExecutor{}, nil, nil, AutoOptions{TablePath: table})
+	if _, err := cold.EstimateVec(context.Background(), autoReq(2*montecarlo.ShardSize)); err != nil {
+		t.Fatal(err)
+	}
+	if cold.PilotSpent() == 0 {
+		t.Fatal("cold run piloted nothing")
+	}
+	raw, err := os.ReadFile(table)
+	if err != nil {
+		t.Fatalf("choice table not persisted: %v", err)
+	}
+	if !strings.Contains(string(raw), "\"key_epoch\"") {
+		t.Errorf("table %s carries no epoch stamp", raw)
+	}
+
+	warm := NewAuto(localExecutor{}, nil, nil, AutoOptions{TablePath: table})
+	if _, err := warm.EstimateVec(context.Background(), autoReq(2*montecarlo.ShardSize)); err != nil {
+		t.Fatal(err)
+	}
+	if warm.PilotSpent() != 0 {
+		t.Errorf("warm run spent %d pilot samples, want 0 (table hit)", warm.PilotSpent())
+	}
+	if warm.Choices()["drive/noisy"] != cold.Choices()["drive/noisy"] {
+		t.Error("warm choice differs from the persisted one")
+	}
+}
+
+func TestAutoChoiceTableInvalidatedByEpoch(t *testing.T) {
+	table := filepath.Join(t.TempDir(), "table.json")
+	stale, _ := json.Marshal(map[string]any{
+		"key_epoch": cache.KeyEpoch - 1,
+		"choices":   map[string]string{"drive/noisy": Stratified},
+	})
+	if err := os.WriteFile(table, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAuto(localExecutor{}, nil, nil, AutoOptions{TablePath: table})
+	if len(a.Choices()) != 0 {
+		t.Errorf("stale-epoch table loaded: %v", a.Choices())
+	}
+	if _, err := a.EstimateVec(context.Background(), autoReq(2*montecarlo.ShardSize)); err != nil {
+		t.Fatal(err)
+	}
+	if a.PilotSpent() == 0 {
+		t.Error("stale table skipped the re-pilot")
+	}
+}
+
+func TestExpectedCostChargesCVPilot(t *testing.T) {
+	// A zero-variance cv candidate still costs its per-point β pilot;
+	// a rival whose variance implies fewer samples than that must win.
+	if cv, rival := expectedCost(CV, 0, 0.005), expectedCost(Sobol, 1e-5, 0.005); cv <= rival {
+		t.Errorf("cv cost %v <= cheap rival %v; pilot surcharge missing", cv, rival)
+	}
+}

@@ -8,11 +8,25 @@ package sampling
 // shard's random stream depends only on (seed, index), round k+1 can
 // be issued as a *ranged* request — Request.FirstShard pointing past
 // the shards rounds 1..k already evaluated — and its accumulators
-// merged after theirs, in shard order. No sample is ever re-evaluated,
-// on any executor: the in-process pool, a `cs serve` fleet, or the
-// cache (where each round's delta request is its own cache entry, so a
-// repeated convergence run replays the identical round schedule and
-// hits on every one).
+// merged after theirs, in shard order. No whole-shard sample is ever
+// re-evaluated, on any executor: the in-process pool, a `cs serve`
+// fleet, or the cache (where each round's delta request is its own
+// cache entry, so a repeated convergence run replays the identical
+// round schedule and hits on every one).
+//
+// Ahead of the whole-shard schedule sits one sub-shard *probe* round:
+// a prefix of shard 0 sized to hold enough of the sampler's
+// observation groups for an honest error estimate. A strong
+// variance-reduction strategy (scrambled Sobol, control variates on a
+// σ = 0 lane) often meets the target inside that prefix, and without
+// the probe every such point would pay the full one-shard floor —
+// the floor, not the integrand, would set its cost. A probe that
+// converges IS the point's result (a plain Samples=p request,
+// bit-identical on any executor); a probe that does not converge is
+// discarded wholesale and the whole-shard schedule restarts at shard
+// 0 — the one deliberate re-evaluation, bounded by the probe's size,
+// which keeps every later round's ranged-request incrementality
+// exact.
 
 import (
 	"context"
@@ -40,6 +54,40 @@ type DriverOptions struct {
 	// samples-to-target more tightly at the cost of more rounds —
 	// rounds are cheap, since each evaluates only its delta.
 	Growth float64
+	// NoProbe disables the sub-shard probe round; every point then
+	// starts at the whole-shard floor. MinSamples > 0 also disables it
+	// (an explicit starting budget is a statement that smaller rounds
+	// are not wanted).
+	NoProbe bool
+}
+
+// probeMinSamples floors the probe round: below this even a group-1
+// sampler's error estimate is not worth acting on relative to the
+// cost of re-evaluating the probe on a miss.
+const probeMinSamples = 512
+
+// probeGroups is how many observation groups a probe must hold: 16
+// iid replicates put the standard error of the standard error near
+// 18%, tight enough to trust a converged verdict.
+const probeGroups = 16
+
+// probeSamples sizes the probe round for a sampler, or returns 0 when
+// no probe is worthwhile (a group so large the probe would approach a
+// whole shard anyway, or an unknown sampler — the inner executor will
+// report that properly).
+func probeSamples(sampler string) int {
+	g, err := montecarlo.SamplerGroup(sampler)
+	if err != nil {
+		return 0
+	}
+	p := probeGroups * g
+	if p < probeMinSamples {
+		p = probeMinSamples
+	}
+	if p >= montecarlo.ShardSize {
+		return 0
+	}
+	return p
 }
 
 // PointReport records one driven estimation point — what a scenario's
@@ -137,6 +185,30 @@ func (d *Driver) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 		Budget:  cap,
 		Target:  d.opt.RelErr,
 	}
+	if p := probeSamples(req.Sampler); !d.opt.NoProbe && d.opt.MinSamples == 0 && p > 0 && p < cap {
+		probe := req
+		probe.Samples = p
+		probe.FirstShard = 0
+		accs, err := d.inner.EstimateVec(ctx, probe)
+		if err != nil {
+			return nil, err
+		}
+		if len(accs) != req.Dim {
+			return nil, fmt.Errorf("sampling: inner executor returned %d components, want %d", len(accs), req.Dim)
+		}
+		report.Rounds++
+		report.Spent += p
+		report.RelErr = accs[0].Estimate().RelErr()
+		if report.RelErr <= d.opt.RelErr {
+			report.Converged = true
+			d.recordPoint(report)
+			return accs, nil
+		}
+		// Probe missed: discard it entirely (totals stay empty) and
+		// fall into the whole-shard schedule from shard 0. The probe's
+		// samples are re-evaluated by round 1 — the bounded cost of
+		// having tried to stop early.
+	}
 	prevShards := 0
 	for {
 		round := req
@@ -172,6 +244,12 @@ func (d *Driver) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 		}
 		n = next
 	}
+	d.recordPoint(report)
+	return totals, nil
+}
+
+// recordPoint appends one finished point to the ledger and metrics.
+func (d *Driver) recordPoint(report PointReport) {
 	d.mu.Lock()
 	d.points = append(d.points, report)
 	d.mu.Unlock()
@@ -182,7 +260,6 @@ func (d *Driver) EstimateVec(ctx context.Context, req montecarlo.Request) ([]mon
 	} else {
 		mCapped.Inc()
 	}
-	return totals, nil
 }
 
 // Reports returns a copy of every point driven so far, in completion

@@ -61,13 +61,13 @@ func TestDriverConvergesAndReports(t *testing.T) {
 	if r.Spent >= 4_000_000 {
 		t.Errorf("driver spent the whole cap (%d); should stop early", r.Spent)
 	}
-	// Incremental growth: work done equals samples reported, each
-	// evaluated exactly once.
+	// Work done equals samples reported — the discarded probe included.
 	if evaluated != int64(r.Spent) {
 		t.Errorf("evaluated %d samples but reported %d spent", evaluated, r.Spent)
 	}
-	if r.Spent%montecarlo.ShardSize != 0 {
-		t.Errorf("spent %d is not whole shards", r.Spent)
+	// Beyond the sub-shard probe, growth is whole shards only.
+	if rest := r.Spent - probeSamples(Plain); r.Rounds > 1 && rest%montecarlo.ShardSize != 0 {
+		t.Errorf("spent %d beyond the probe is not whole shards", rest)
 	}
 }
 
@@ -83,8 +83,9 @@ func TestDriverSurfacesCapped(t *testing.T) {
 	if r.Converged {
 		t.Errorf("impossible target reported as converged: %+v", r)
 	}
-	if r.Spent != 3*montecarlo.ShardSize {
-		t.Errorf("capped run spent %d, want the cap %d", r.Spent, 3*montecarlo.ShardSize)
+	// An impossible target burns the probe and then the whole cap.
+	if want := 3*montecarlo.ShardSize + probeSamples(Plain); r.Spent != want {
+		t.Errorf("capped run spent %d, want probe+cap %d", r.Spent, want)
 	}
 }
 
@@ -98,8 +99,8 @@ func TestDriverDefaultsCapToRequestBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := d.Reports()[0]
-	if r.Spent != budget || r.Budget != budget {
-		t.Errorf("spent %d under budget %d, want exactly the request budget %d", r.Spent, r.Budget, budget)
+	if want := budget + probeSamples(Plain); r.Spent != want || r.Budget != budget {
+		t.Errorf("spent %d under budget %d, want probe+budget %d", r.Spent, r.Budget, want)
 	}
 }
 
@@ -115,13 +116,19 @@ func TestDriverResultBitIdenticalToDirectRequest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spent := d.Reports()[0].Spent
-	direct, err := montecarlo.RunRequest(context.Background(), driveReq(1, Plain, spent))
+	r := d.Reports()[0]
+	// Spent counts the discarded probe; the merged result covers the
+	// whole-shard schedule only (or just the probe, had it converged).
+	n := r.Spent
+	if r.Rounds > 1 {
+		n -= probeSamples(Plain)
+	}
+	direct, err := montecarlo.RunRequest(context.Background(), driveReq(1, Plain, n))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if accs[0] != direct[0] {
-		t.Errorf("driven result %+v != direct result %+v at n=%d", accs[0].State(), direct[0].State(), spent)
+		t.Errorf("driven result %+v != direct result %+v at n=%d", accs[0].State(), direct[0].State(), n)
 	}
 }
 
@@ -204,14 +211,71 @@ func TestDriverRoundScheduleIsDeterministicAndRanged(t *testing.T) {
 	if len(first) != len(second) {
 		t.Fatalf("round counts differ between identical runs: %d vs %d", len(first), len(second))
 	}
-	prevShards := 0
 	for i := range first {
 		if first[i].Samples != second[i].Samples || first[i].FirstShard != second[i].FirstShard {
 			t.Errorf("round %d differs between identical runs", i)
 		}
+	}
+	// The probe leads: a sub-shard request at shard 0. After a miss the
+	// whole-shard schedule restarts at shard 0 and is ranged from there.
+	if first[0].Samples != probeSamples(Plain) || first[0].FirstShard != 0 {
+		t.Errorf("first request %+v is not the probe (want %d samples at shard 0)", first[0], probeSamples(Plain))
+	}
+	prevShards := 0
+	for i := 1; i < len(first); i++ {
 		if first[i].FirstShard != prevShards {
 			t.Errorf("round %d starts at shard %d, want %d (no re-evaluation)", i, first[i].FirstShard, prevShards)
 		}
 		prevShards = montecarlo.ShardCount(first[i].Samples)
+	}
+}
+
+func TestDriverProbeConvergesSubShard(t *testing.T) {
+	// A near-exact integrand (tiny sd) meets any reasonable target
+	// inside the probe; the point's result must then BE the probe — a
+	// plain sub-shard request, bit-identical to running it directly.
+	d, err := NewDriver(nil, DriverOptions{RelErr: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs, err := d.EstimateVec(context.Background(), driveReq(1e-6, Plain, 4_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.Reports()[0]
+	p := probeSamples(Plain)
+	if !r.Converged || r.Rounds != 1 || r.Spent != p {
+		t.Fatalf("probe should have converged in one sub-shard round, got %+v", r)
+	}
+	direct, err := montecarlo.RunRequest(context.Background(), driveReq(1e-6, Plain, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accs[0] != direct[0] {
+		t.Errorf("probe result %+v != direct result %+v", accs[0].State(), direct[0].State())
+	}
+}
+
+func TestDriverNoProbeStartsAtWholeShards(t *testing.T) {
+	// NoProbe (and MinSamples > 0, which implies it) restores the
+	// whole-shard-only schedule.
+	for _, opt := range []DriverOptions{
+		{RelErr: 0.005, NoProbe: true},
+		{RelErr: 0.005, MinSamples: 1},
+	} {
+		inner := &countingExecutor{}
+		d, err := NewDriver(inner, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.EstimateVec(context.Background(), driveReq(1e-6, Plain, 4_000_000)); err != nil {
+			t.Fatal(err)
+		}
+		if got := inner.reqs[0].Samples; got != montecarlo.ShardSize {
+			t.Errorf("opts %+v: first round has %d samples, want one whole shard", opt, got)
+		}
+		if r := d.Reports()[0]; r.Spent%montecarlo.ShardSize != 0 {
+			t.Errorf("opts %+v: spent %d is not whole shards", opt, r.Spent)
+		}
 	}
 }

@@ -248,7 +248,7 @@ func TestValidate(t *testing.T) {
 			t.Errorf("Validate(%q) = %v", name, err)
 		}
 	}
-	if err := Validate("sobol"); err == nil {
+	if err := Validate("latin-hypercube"); err == nil {
 		t.Error("Validate accepted an unregistered sampler")
 	}
 }

@@ -124,9 +124,12 @@ dist_json+="  },\n"
 # Samples-to-target lane: every sampler strategy drives the same
 # scenarios to the same relative-error target through the adaptive
 # convergence driver (`-relerr`); the sampling_spent metric in each
-# run's result.json is the total Monte Carlo samples that took. The
-# variance-reduction strategies must land equal-accuracy results in
-# measurably fewer samples.
+# run's result.json is the total Monte Carlo samples that took —
+# pilots (cv's β fits, auto's candidate shoot-outs) included, so the
+# ledger is honest. The variance-reduction strategies must land
+# equal-accuracy results in measurably fewer samples; auto runs cold
+# (no choice table), so its number carries the one-off pilot cost a
+# warm repeat run skips.
 target=0.005
 max_samples=4194304
 scale=smoke
@@ -147,16 +150,22 @@ sampling_json+="    \"max_samples\": $max_samples,\n"
 sampling_json+="    \"scale\": \"$scale\",\n"
 sampling_json+="    \"scenarios\": [\n"
 scenarios=(curves inefficiency tables)
+samplers=(antithetic stratified sobol cv auto)
 for i in "${!scenarios[@]}"; do
     sc=${scenarios[$i]}
     plain=$(spent_for "$sc" plain)
-    anti=$(spent_for "$sc" antithetic)
-    strat=$(spent_for "$sc" stratified)
-    anti_pct=$(awk -v p="$plain" -v v="$anti" 'BEGIN{printf "%.1f", 100*(1-v/p)}')
-    strat_pct=$(awk -v p="$plain" -v v="$strat" 'BEGIN{printf "%.1f", 100*(1-v/p)}')
-    echo "  $sc: plain=$plain antithetic=$anti (-$anti_pct%) stratified=$strat (-$strat_pct%)"
+    row="{\"scenario\": \"$sc\", \"plain\": $plain"
+    line="  $sc: plain=$plain"
+    for s in "${samplers[@]}"; do
+        v=$(spent_for "$sc" "$s")
+        pct=$(awk -v p="$plain" -v v="$v" 'BEGIN{printf "%.1f", 100*(1-v/p)}')
+        row+=", \"$s\": $v, \"${s}_savings_pct\": $pct"
+        line+=" $s=$v (-$pct%)"
+    done
+    row+="}"
+    echo "$line"
     comma=$([ "$i" -lt $((${#scenarios[@]} - 1)) ] && echo "," || echo "")
-    sampling_json+="      {\"scenario\": \"$sc\", \"plain\": $plain, \"antithetic\": $anti, \"stratified\": $strat, \"antithetic_savings_pct\": $anti_pct, \"stratified_savings_pct\": $strat_pct}$comma\n"
+    sampling_json+="      $row$comma\n"
 done
 sampling_json+="    ]\n  }\n"
 
